@@ -1,0 +1,57 @@
+"""Ablation benchmark — quantitative over-smoothing diagnostics (Propositions 1-2).
+
+The paper argues theoretically that LayerGCN alleviates LightGCN's
+over-smoothing.  This benchmark measures it directly on trained models with
+the diagnostics from :mod:`repro.analysis`: mean average (cosine) distance
+between connected nodes, embedding variance, neighbour divergence (the Eq. 15
+quantity) and drift from the ego layer — for both models at shallow and deep
+settings.
+"""
+
+import numpy as np
+
+from repro.analysis import smoothing_report
+from repro.experiments import format_table, load_splits
+from repro.models import build_model
+from repro.training import Trainer
+
+from .conftest import print_block
+
+DEPTHS = (2, 6)
+
+
+def _run(scale):
+    split = load_splits(["mooc"], scale=scale)["mooc"]
+    rows = []
+    reports = {}
+    for model_name in ("lightgcn", "layergcn"):
+        for depth in DEPTHS:
+            kwargs = {"num_layers": depth}
+            if model_name == "layergcn":
+                kwargs.update({"dropout_ratio": 0.1, "edge_dropout": "degreedrop"})
+            model = build_model(model_name, split, embedding_dim=scale.embedding_dim,
+                                batch_size=scale.batch_size, seed=scale.seed, **kwargs)
+            Trainer(model, split, scale.trainer_config()).fit()
+            report = smoothing_report(model, name=f"{model_name}-{depth}")
+            reports[(model_name, depth)] = report
+            rows.append({"model": model_name, "layers": depth, **{
+                "mad": report.mad,
+                "variance": report.variance,
+                "neighbor_distance": report.neighbor_distance,
+                "ego_distance": report.ego_distance,
+            }})
+    return rows, reports
+
+
+def test_ablation_oversmoothing_diagnostics(benchmark, bench_scale):
+    rows, reports = benchmark.pedantic(lambda: _run(bench_scale), rounds=1, iterations=1)
+    print_block("Ablation — over-smoothing diagnostics (trained models, MOOC)",
+                format_table(rows, ["model", "layers", "mad", "variance",
+                                    "neighbor_distance", "ego_distance"]))
+
+    # Shape checks tied to the paper's claims:
+    # 1. Deep LightGCN is smoother (lower MAD) than shallow LightGCN.
+    assert reports[("lightgcn", 6)].mad <= reports[("lightgcn", 2)].mad * 1.05
+    # 2. At the deep setting, LayerGCN keeps connected nodes at least as
+    #    distinguishable as LightGCN does (Proposition 2).
+    assert reports[("layergcn", 6)].mad >= reports[("lightgcn", 6)].mad * 0.8

@@ -1,0 +1,49 @@
+"""Ablation benchmark — design choices of LayerGCN's readout (DESIGN.md).
+
+Not a paper table, but an ablation of the design decisions the paper argues
+for qualitatively:
+
+* dropping vs keeping the ego layer in the readout (Eq. 9 vs Eq. 3),
+* cosine refinement vs no refinement (LayerGCN vs a sum-readout LightGCN),
+* sum vs mean readout (the injectivity argument of Proposition 1).
+
+The LayerGCN variants are obtained by comparing against LightGCN configured to
+mimic each alternative.
+"""
+
+import numpy as np
+
+from repro.experiments import format_table, load_splits, train_and_evaluate
+
+from .conftest import print_block
+
+
+def _run_ablation(scale):
+    split = load_splits(["mooc"], scale=scale)["mooc"]
+    rows = []
+
+    variants = [
+        ("LayerGCN (refined, ego dropped, sum)", "layergcn",
+         {"num_layers": 4, "dropout_ratio": 0.1, "edge_dropout": "degreedrop"}),
+        ("LayerGCN w/o edge dropout", "layergcn",
+         {"num_layers": 4, "dropout_ratio": 0.0}),
+        ("LightGCN (mean readout incl. ego)", "lightgcn", {"num_layers": 4}),
+        ("LightGCN learnable layer weights", "lightgcn-learnable", {"num_layers": 4}),
+    ]
+    for label, model_name, kwargs in variants:
+        _, history, result = train_and_evaluate(model_name, split, scale, model_kwargs=kwargs)
+        rows.append({"variant": label, "best_epoch": history.best_epoch, **result.as_dict()})
+    return rows
+
+
+def test_ablation_readout_and_refinement(benchmark, bench_scale):
+    rows = benchmark.pedantic(lambda: _run_ablation(bench_scale), rounds=1, iterations=1)
+    print_block("Ablation — readout / refinement / edge-dropout variants (MOOC)",
+                format_table(rows, ["variant", "recall@20", "recall@50",
+                                    "ndcg@20", "ndcg@50", "best_epoch"]))
+
+    by_variant = {row["variant"]: row for row in rows}
+    full = by_variant["LayerGCN (refined, ego dropped, sum)"]
+    # The full model should not be dramatically worse than any ablated variant.
+    for label, row in by_variant.items():
+        assert full["recall@50"] >= row["recall@50"] * 0.8, label

@@ -1,0 +1,31 @@
+"""Benchmark E11 — Fig. 7: regularisation coefficient vs edge-dropout ratio grid.
+
+Grids λ against the dropout ratio for LayerGCN on the dense preset and prints
+the R@50 / N@50 heat maps.  The paper reports the best cells around
+λ ∈ {1e-3, 1e-2} with a low dropout ratio on MOOC, and degradation at the
+strongest regularisation (λ = 0.1).
+"""
+
+from repro.experiments import best_cell, format_grid, run_hyperparameter_grid
+
+from .conftest import print_block
+
+LAMBDAS = (1e-4, 1e-3, 1e-1)
+RATIOS = (0.0, 0.1, 0.2)
+
+
+def test_fig7_regularization_dropout_grid(benchmark, bench_scale):
+    cells = benchmark.pedantic(
+        lambda: run_hyperparameter_grid(dataset="mooc", lambdas=LAMBDAS,
+                                        dropout_ratios=RATIOS, scale=bench_scale),
+        rounds=1, iterations=1)
+
+    body = format_grid(cells, metric="recall@50") + "\n\n" + format_grid(cells, metric="ndcg@50")
+    best = best_cell(cells, metric="recall@50")
+    body += (f"\n\nbest cell: lambda={best['lambda']:g}, "
+             f"dropout={best['dropout_ratio']}, recall@50={best['recall@50']:.4f}")
+    print_block("Fig. 7 — λ x dropout-ratio grid (LayerGCN, MOOC)", body)
+
+    assert len(cells) == len(LAMBDAS) * len(RATIOS)
+    # Shape check from the paper: the heaviest regularisation is never the best cell.
+    assert best["lambda"] < 1e-1

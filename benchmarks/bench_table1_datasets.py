@@ -1,0 +1,21 @@
+"""Benchmark E1 — Table I: dataset statistics.
+
+Regenerates the users/items/interactions/sparsity table for the four synthetic
+presets standing in for MOOC, Games, Food and Yelp.
+"""
+
+from repro.experiments import format_table1, run_table1
+
+from .conftest import print_block
+
+
+def test_table1_dataset_statistics(benchmark):
+    rows = benchmark.pedantic(lambda: run_table1(scale=1.0), rounds=1, iterations=1)
+    print_block("Table I — dataset statistics (synthetic presets)", format_table1(rows))
+
+    datasets = {row["dataset"]: row for row in rows}
+    # Shape checks mirroring the paper: MOOC is the dense, item-scarce dataset;
+    # Yelp has the largest item catalogue of the four.
+    assert datasets["mooc"]["sparsity"] < datasets["yelp"]["sparsity"]
+    assert datasets["mooc"]["users_per_item"] > datasets["games"]["users_per_item"]
+    assert datasets["yelp"]["num_items"] >= datasets["games"]["num_items"]

@@ -1,0 +1,33 @@
+"""Benchmark E2 — Table II: overall performance comparison.
+
+Trains every Table II model on the dense (MOOC-like) and one sparse
+(Games-like) preset and prints Recall@{10,20,50} / NDCG@{10,20,50} plus the
+improvement of LayerGCN (Full) over the best baseline.
+
+The full 11-model x 4-dataset grid of the paper is available via
+``run_table2()`` with default arguments; the benchmark uses a 2-dataset subset
+to keep the suite's wall-clock time reasonable.
+"""
+
+from repro.experiments import format_table2, run_table2
+
+from .conftest import print_block
+
+BENCH_DATASETS = ("mooc", "games")
+
+
+def test_table2_overall_comparison(benchmark, bench_scale):
+    rows = benchmark.pedantic(
+        lambda: run_table2(datasets=BENCH_DATASETS, scale=bench_scale),
+        rounds=1, iterations=1)
+    print_block("Table II — overall performance comparison", format_table2(rows))
+
+    for dataset in BENCH_DATASETS:
+        by_model = {row["model"]: row for row in rows if row["dataset"] == dataset}
+        layergcn_full = by_model["LayerGCN (Full)"]
+        baselines = [row for name, row in by_model.items()
+                     if not name.startswith("LayerGCN")]
+        best_baseline_r20 = max(row["recall@20"] for row in baselines)
+        # Shape check from the paper: LayerGCN (Full) is competitive with the
+        # best baseline on every dataset (ties allowed at this small scale).
+        assert layergcn_full["recall@20"] >= best_baseline_r20 * 0.85

@@ -1,0 +1,53 @@
+"""Shared configuration for the benchmark harness.
+
+Every file in this directory regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  Each benchmark trains the involved
+models once (``rounds=1``) and prints the resulting rows/series so the output
+can be compared with the paper side by side; EXPERIMENTS.md records that
+comparison.
+
+The ``BENCH_SCALE`` below balances fidelity and wall-clock time: models train
+for a few dozen epochs on the scaled-down synthetic presets, which is enough
+for the qualitative orderings (who wins, where crossovers happen) to emerge.
+Set the environment variable ``REPRO_BENCH_SCALE=full`` for a heavier run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make the src/ layout importable even without an installed package, so the
+# benchmark harness works in a fresh checkout (`pip install -e .` offline can
+# be unavailable; see README).
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments import ExperimentScale  # noqa: E402
+
+
+def _bench_scale() -> ExperimentScale:
+    mode = os.environ.get("REPRO_BENCH_SCALE", "bench")
+    if mode == "full":
+        return ExperimentScale.full()
+    if mode == "quick":
+        return ExperimentScale.quick()
+    # Default benchmark scale: small embeddings, a couple dozen epochs.
+    scale = ExperimentScale(embedding_dim=32, epochs=25, batch_size=512,
+                            learning_rate=0.005, dataset_scale=0.6)
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return _bench_scale()
+
+
+def print_block(title: str, body: str) -> None:
+    """Uniform pretty-printing of benchmark outputs."""
+    line = "=" * max(len(title), 20)
+    print(f"\n{line}\n{title}\n{line}\n{body}\n")

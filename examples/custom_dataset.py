@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Train LayerGCN on your own interaction log (CSV of user, item, timestamp).
+
+Run with:
+    python examples/custom_dataset.py path/to/interactions.csv
+    python examples/custom_dataset.py              # demo mode with a generated CSV
+
+The CSV needs a header and three columns: user id, item id, unix timestamp
+(ids may be arbitrary strings).  The script applies the paper's preprocessing
+(k-core filtering, chronological 70/10/20 split with cold-start removal),
+trains LayerGCN and writes the top-10 recommendations per user to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import LayerGCN, Trainer, TrainerConfig, evaluate_model
+from repro.data import chronological_split, k_core_filter, load_interactions_csv
+
+
+def _write_demo_csv() -> Path:
+    """Generate a small demo CSV so the example runs without arguments."""
+    rng = np.random.default_rng(0)
+    path = Path(tempfile.mkstemp(suffix=".csv")[1])
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["user", "item", "timestamp"])
+        for t in range(4000):
+            user = f"user-{rng.integers(200)}"
+            item = f"item-{int(rng.zipf(1.3)) % 120}"
+            writer.writerow([user, item, t])
+    print(f"(demo mode) generated synthetic interaction log at {path}")
+    return path
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path", nargs="?", default=None)
+    parser.add_argument("--k-core", type=int, default=3,
+                        help="minimum interactions per user and per item")
+    parser.add_argument("--epochs", type=int, default=30)
+    args = parser.parse_args()
+
+    csv_path = Path(args.csv_path) if args.csv_path else _write_demo_csv()
+    if not csv_path.exists():
+        sys.exit(f"no such file: {csv_path}")
+
+    dataset = load_interactions_csv(csv_path, name=csv_path.stem)
+    print(f"loaded {dataset}")
+    dataset = k_core_filter(dataset, k_user=args.k_core, k_item=args.k_core)
+    print(f"after {args.k_core}-core filtering: {dataset}")
+
+    split = chronological_split(dataset)
+    print(f"split: {split}")
+
+    model = LayerGCN(split, embedding_dim=32, num_layers=4,
+                     edge_dropout="degreedrop", dropout_ratio=0.1, seed=0)
+    config = TrainerConfig(learning_rate=0.005, epochs=args.epochs,
+                           early_stopping_patience=5)
+    Trainer(model, split, config).fit()
+
+    result = evaluate_model(model, split, ks=(10, 20))
+    print("held-out metrics:", result.format_row(["recall@10", "recall@20",
+                                                  "ndcg@10", "ndcg@20"]))
+
+    print("\nsample recommendations (internal item indices):")
+    for user in range(min(5, split.num_users)):
+        print(f"  user {user}: {model.recommend(user, k=10)}")
+
+
+if __name__ == "__main__":
+    main()

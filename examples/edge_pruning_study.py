@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Study the degree-sensitive edge dropout (DegreeDrop) vs uniform DropEdge.
+
+Run with:
+    python examples/edge_pruning_study.py [dataset]
+
+The script reproduces, at example scale, the convergence comparison of
+Fig. 3(a) (best validation epoch per dropout ratio) and the accuracy
+comparison of Table IV (recall/NDCG at the best epoch), and prints how the
+item-degree distribution of the dataset (Fig. 4) explains the gap.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.experiments import (
+    ExperimentScale,
+    degree_skew_summary,
+    format_table,
+    run_convergence_sweep,
+    run_degree_cdf,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dataset", nargs="?", default="mooc",
+                        choices=["mooc", "games", "food", "yelp"])
+    parser.add_argument("--ratios", type=float, nargs="+", default=[0.2, 0.5, 0.7])
+    parser.add_argument("--epochs", type=int, default=25)
+    args = parser.parse_args()
+
+    scale = ExperimentScale(embedding_dim=32, epochs=args.epochs, dataset_scale=0.6)
+
+    print(f"=== item-degree profile of '{args.dataset}' (context for Fig. 4) ===")
+    cdf = run_degree_cdf(datasets=(args.dataset,), scale=0.6)
+    print(format_table(degree_skew_summary(cdf),
+                       ["dataset", "num_items", "mean_degree", "median_degree",
+                        "p90_degree", "max_degree", "share_rooted_below_10"]))
+
+    print(f"\n=== convergence and accuracy per dropout ratio ({args.dataset}) ===")
+    rows = run_convergence_sweep(dataset=args.dataset, ratios=tuple(args.ratios), scale=scale)
+    print(format_table(rows, ["dropout_type", "dropout_ratio", "best_epoch",
+                              "best_valid_score", "recall@20"]))
+
+    for dropout_type in ("dropedge", "degreedrop"):
+        epochs = [row["best_epoch"] for row in rows if row["dropout_type"] == dropout_type]
+        print(f"mean best epoch with {dropout_type:>10s}: {np.mean(epochs):.1f}")
+    print("\nThe paper's observation: DegreeDrop converges in fewer epochs and is most "
+          "helpful on datasets whose items have large degrees (e.g. the MOOC preset).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro: reproduction of "Layer-refined Graph Convolutional Networks for Recommendation".
+
+The package is organised as:
+
+* :mod:`repro.autograd` — NumPy-based reverse-mode autodiff substrate.
+* :mod:`repro.graph` — bipartite interaction graphs, normalisation, pruning.
+* :mod:`repro.data` — datasets, chronological splits, samplers, synthetic generators.
+* :mod:`repro.core` — the LayerGCN model (the paper's contribution).
+* :mod:`repro.models` — every baseline from Table II.
+* :mod:`repro.training` — losses, trainer with early stopping, callbacks.
+* :mod:`repro.eval` — Recall@K / NDCG@K, full-ranking protocol, significance tests.
+* :mod:`repro.experiments` — one harness per paper table/figure.
+"""
+
+from .core import LayerGCN
+from .data import DataSplit, InteractionDataset, dataset_preset, prepare_split
+from .eval import EvaluationResult, RankingEvaluator, evaluate_model
+from .models import available_models, build_model
+from .training import Trainer, TrainerConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LayerGCN",
+    "DataSplit",
+    "InteractionDataset",
+    "dataset_preset",
+    "prepare_split",
+    "EvaluationResult",
+    "RankingEvaluator",
+    "evaluate_model",
+    "available_models",
+    "build_model",
+    "Trainer",
+    "TrainerConfig",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Analysis utilities: over-smoothing diagnostics and ranking diagnostics."""
+
+from .smoothing import (
+    SmoothingReport,
+    ego_drift,
+    embedding_variance,
+    mean_average_distance,
+    neighbor_divergence,
+    smoothing_report,
+)
+from .diversity import (
+    catalog_coverage,
+    gini_coefficient,
+    novelty,
+    popularity_bias,
+    recommendation_diagnostics,
+)
+
+__all__ = [
+    "SmoothingReport",
+    "ego_drift",
+    "embedding_variance",
+    "mean_average_distance",
+    "neighbor_divergence",
+    "smoothing_report",
+    "catalog_coverage",
+    "gini_coefficient",
+    "novelty",
+    "popularity_bias",
+    "recommendation_diagnostics",
+]

@@ -1,0 +1,97 @@
+"""Recommendation-list diagnostics beyond accuracy.
+
+These are standard companions to Recall/NDCG used when analysing GCN
+recommenders: catalogue coverage, popularity bias (degree-sensitive pruning is
+expected to reduce it), novelty and the Gini coefficient of recommended-item
+exposure.  They operate on the top-K lists a trained model produces.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import DataSplit
+
+__all__ = [
+    "catalog_coverage",
+    "gini_coefficient",
+    "novelty",
+    "popularity_bias",
+    "recommendation_diagnostics",
+]
+
+
+def catalog_coverage(recommendations: Sequence[Sequence[int]], num_items: int) -> float:
+    """Fraction of the catalogue that appears in at least one top-K list."""
+    if num_items <= 0:
+        raise ValueError("num_items must be positive")
+    recommended = {int(item) for items in recommendations for item in items}
+    return len(recommended) / num_items
+
+
+def gini_coefficient(recommendations: Sequence[Sequence[int]], num_items: int) -> float:
+    """Gini coefficient of item exposure across all top-K lists (0 = equal, 1 = concentrated)."""
+    counts = np.zeros(num_items, dtype=np.float64)
+    for items in recommendations:
+        for item in items:
+            counts[int(item)] += 1.0
+    if counts.sum() == 0:
+        return 0.0
+    sorted_counts = np.sort(counts)
+    n = num_items
+    cumulative = np.cumsum(sorted_counts)
+    # Standard Gini formula on the Lorenz curve of exposures.
+    return float((n + 1 - 2 * np.sum(cumulative) / cumulative[-1]) / n)
+
+
+def popularity_bias(recommendations: Sequence[Sequence[int]],
+                    item_degrees: np.ndarray) -> float:
+    """Average training popularity (degree) of the recommended items.
+
+    Higher values mean the model concentrates on popular items; DegreeDrop is
+    expected to reduce this compared with uniform pruning.
+    """
+    degrees = np.asarray(item_degrees, dtype=np.float64)
+    values: List[float] = []
+    for items in recommendations:
+        if len(items):
+            values.append(float(np.mean(degrees[np.asarray(items, dtype=np.int64)])))
+    return float(np.mean(values)) if values else 0.0
+
+
+def novelty(recommendations: Sequence[Sequence[int]], item_degrees: np.ndarray,
+            num_users: int) -> float:
+    """Mean self-information -log2(popularity) of recommended items.
+
+    Popularity is the fraction of users who interacted with the item in the
+    training data; rarely-seen items carry more novelty.
+    """
+    degrees = np.asarray(item_degrees, dtype=np.float64)
+    probabilities = np.clip(degrees / max(num_users, 1), 1e-12, 1.0)
+    information = -np.log2(probabilities)
+    values: List[float] = []
+    for items in recommendations:
+        if len(items):
+            values.append(float(np.mean(information[np.asarray(items, dtype=np.int64)])))
+    return float(np.mean(values)) if values else 0.0
+
+
+def recommendation_diagnostics(model, split: DataSplit, k: int = 20,
+                               users: Optional[Iterable[int]] = None) -> Dict[str, float]:
+    """Compute all list-level diagnostics for a trained model.
+
+    ``model`` must expose ``recommend(user, k)`` (every
+    :class:`~repro.models.base.Recommender` does).
+    """
+    if users is None:
+        users = range(split.num_users)
+    recommendations = [model.recommend(int(user), k=k) for user in users]
+    item_degrees = split.train_graph().item_degrees()
+    return {
+        "coverage": catalog_coverage(recommendations, split.num_items),
+        "gini": gini_coefficient(recommendations, split.num_items),
+        "popularity_bias": popularity_bias(recommendations, item_degrees),
+        "novelty": novelty(recommendations, item_degrees, split.num_users),
+    }

@@ -1,0 +1,144 @@
+"""Functional building blocks used by the recommendation models.
+
+These are free functions that operate on :class:`~repro.autograd.tensor.Tensor`
+objects and compose into the losses and propagation rules of the paper:
+
+* :func:`row_cosine_similarity` — the layer-refinement SIM function (Eq. 8).
+* :func:`logsigmoid` / :func:`bpr_loss_terms` — the BPR objective (Eq. 11).
+* :func:`softmax`, :func:`log_softmax` — used by MultiVAE's multinomial
+  likelihood and by the learnable layer-weight variant of LightGCN (Fig. 1).
+* :func:`dropout` — standard inverted dropout for the MLP-style baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor, is_grad_enabled
+
+__all__ = [
+    "concat",
+    "stack",
+    "dropout",
+    "softmax",
+    "log_softmax",
+    "logsigmoid",
+    "row_cosine_similarity",
+    "l2_normalize",
+    "scale_rows",
+    "embedding_l2",
+    "mse",
+]
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing back to each input."""
+    tensors = list(tensors)
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if tensor.requires_grad:
+                index = [slice(None)] * grad.ndim
+                index[axis] = slice(start, stop)
+                tensor._accumulate(grad[tuple(index)])
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: np.ndarray) -> None:
+        slices = np.split(grad, len(tensors), axis=axis)
+        for tensor, piece in zip(tensors, slices):
+            if tensor.requires_grad:
+                tensor._accumulate(np.squeeze(piece, axis=axis))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def dropout(tensor: Tensor, rate: float, rng: Optional[np.random.Generator] = None,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero a fraction ``rate`` of entries and rescale the rest."""
+    if not training or rate <= 0.0 or not is_grad_enabled():
+        return tensor
+    if rate >= 1.0:
+        raise ValueError("dropout rate must be in [0, 1)")
+    rng = rng or np.random.default_rng()
+    keep = 1.0 - rate
+    mask = (rng.random(tensor.shape) < keep) / keep
+    return tensor * Tensor(mask)
+
+
+def softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax built from autograd primitives."""
+    shifted = tensor - Tensor(tensor.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(tensor: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax."""
+    shifted = tensor - Tensor(tensor.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def logsigmoid(tensor: Tensor) -> Tensor:
+    """log(sigmoid(x)) computed as -softplus(-x) for numerical stability."""
+    return -((-tensor).softplus())
+
+
+def l2_normalize(tensor: Tensor, axis: int = -1, eps: float = 1e-12) -> Tensor:
+    """Normalise rows (or the given axis) to unit L2 norm."""
+    return tensor / tensor.norm(axis=axis, keepdims=True, eps=eps)
+
+
+def row_cosine_similarity(current: Tensor, ego: Tensor, eps: float = 1e-8) -> Tensor:
+    """Row-wise cosine similarity between two matrices (Eq. 8 of the paper).
+
+    Both inputs have shape ``(n, d)``; the result has shape ``(n, 1)`` so that
+    it broadcasts over the embedding dimension when used to rescale a layer.
+    The denominator is floored at ``eps`` exactly as in Eq. 8
+    (``max(||x_i|| * ||x_j||, eps)``).
+    """
+    dot = (current * ego).sum(axis=1, keepdims=True)
+    norm_product = current.norm(axis=1, keepdims=True) * ego.norm(axis=1, keepdims=True)
+    # Floor the denominator at ``eps`` exactly as Eq. 8 does; gradients flow
+    # through both the dot product and the norms whenever the norms exceed eps.
+    denom = norm_product.clip(min_value=eps)
+    return dot / denom
+
+
+def scale_rows(tensor: Tensor, weights: Tensor) -> Tensor:
+    """Multiply every row of ``tensor`` by the corresponding scalar in ``weights``.
+
+    ``weights`` may be shaped ``(n,)`` or ``(n, 1)``; broadcasting handles the
+    rest.  Used by the layer-refinement step ``X^{l+1} = (a^{l+1} + eps) X^{l+1}``.
+    """
+    if weights.ndim == 1:
+        weights = weights.reshape(-1, 1)
+    return tensor * weights
+
+
+def embedding_l2(*tensors: Tensor) -> Tensor:
+    """0.5 * sum of squared entries of the given tensors (L2 regulariser)."""
+    total: Optional[Tensor] = None
+    for tensor in tensors:
+        term = (tensor * tensor).sum() * 0.5
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("embedding_l2 requires at least one tensor")
+    return total
+
+
+def mse(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error."""
+    diff = prediction - target
+    return (diff * diff).mean()

@@ -1,0 +1,58 @@
+"""Parameter initialisation schemes.
+
+The paper (Section V-A-4) initialises all embeddings with the Xavier method,
+so :func:`xavier_uniform` / :func:`xavier_normal` are the defaults across the
+library.  Each function returns a plain ``numpy.ndarray`` that callers wrap in
+a :class:`~repro.autograd.module.Parameter`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "normal", "zeros", "ones"]
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initialisation requires a non-scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[1:]))
+    fan_out = shape[0]
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, ...], gain: float = 1.0,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation U(-a, a), a = gain * sqrt(6 / (fan_in + fan_out))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(tuple(shape))
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, ...], gain: float = 1.0,
+                  rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot/Xavier normal initialisation N(0, gain^2 * 2 / (fan_in + fan_out))."""
+    rng = rng or np.random.default_rng()
+    fan_in, fan_out = _fans(tuple(shape))
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def normal(shape: Tuple[int, ...], mean: float = 0.0, std: float = 0.01,
+           rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Plain Gaussian initialisation."""
+    rng = rng or np.random.default_rng()
+    return rng.normal(mean, std, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float64)

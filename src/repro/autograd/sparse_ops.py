@@ -1,0 +1,85 @@
+"""Sparse-dense operations for graph propagation.
+
+Every GCN model in this library performs the propagation step
+:math:`X^{(l+1)} = \\hat{A} X^{(l)}` where :math:`\\hat{A}` is a fixed
+(sparse, non-learnable) normalised adjacency matrix and :math:`X^{(l)}` is a
+dense, learnable embedding matrix.  Because the adjacency never receives a
+gradient, the backward pass only needs the transpose product
+:math:`\\hat{A}^\\top G`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor
+
+__all__ = ["sparse_matmul", "SparseTensor"]
+
+
+class SparseTensor:
+    """Thin wrapper around a ``scipy.sparse`` matrix used as a propagation operator.
+
+    The wrapper stores the matrix in CSR format (fast row-slicing and fast
+    matrix-vector products) and caches its transpose so that repeated backward
+    passes do not re-transpose on every step.
+    """
+
+    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
+        if not sp.issparse(matrix):
+            matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+        self._matrix = matrix.tocsr().astype(np.float64)
+        self._transpose: sp.csr_matrix = None
+
+    @property
+    def shape(self):
+        return self._matrix.shape
+
+    @property
+    def nnz(self) -> int:
+        return self._matrix.nnz
+
+    @property
+    def matrix(self) -> sp.csr_matrix:
+        return self._matrix
+
+    def transpose_matrix(self) -> sp.csr_matrix:
+        if self._transpose is None:
+            self._transpose = self._matrix.transpose().tocsr()
+        return self._transpose
+
+    def to_dense(self) -> np.ndarray:
+        return self._matrix.toarray()
+
+    def __repr__(self) -> str:
+        return f"SparseTensor(shape={self.shape}, nnz={self.nnz})"
+
+
+def sparse_matmul(adjacency: Union[SparseTensor, sp.spmatrix], dense: Tensor) -> Tensor:
+    """Differentiable product ``adjacency @ dense`` with a fixed sparse operand.
+
+    Parameters
+    ----------
+    adjacency:
+        The (non-learnable) sparse propagation matrix, shape ``(n, n)`` or
+        ``(m, n)``.
+    dense:
+        Learnable dense matrix of shape ``(n, d)``.
+
+    Returns
+    -------
+    Tensor of shape ``(m, d)`` whose backward pass propagates
+    ``adjacency.T @ grad`` to ``dense``.
+    """
+    if not isinstance(adjacency, SparseTensor):
+        adjacency = SparseTensor(adjacency)
+    data = adjacency.matrix @ dense.data
+
+    def backward(grad: np.ndarray) -> None:
+        if dense.requires_grad:
+            dense._accumulate(adjacency.transpose_matrix() @ grad)
+
+    return Tensor._make(data, (dense,), backward)

@@ -1,0 +1,7 @@
+"""Core contribution: the LayerGCN model and its layer-refinement operator."""
+
+from .content import ContentLayerGCN
+from .layergcn import LayerGCN
+from .refinement import refine_layer, refinement_similarity
+
+__all__ = ["ContentLayerGCN", "LayerGCN", "refine_layer", "refinement_similarity"]

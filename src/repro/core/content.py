@@ -1,0 +1,126 @@
+"""Content-aware LayerGCN (the extension discussed in Section II-B).
+
+The paper notes LayerGCN "could be applied to other scenarios where nodes are
+associated with rich semantic features" in two ways:
+
+1. initialise the node representations from content features (as vanilla GCN
+   does for node classification), or
+2. fuse the ID embeddings produced by LayerGCN with content features through
+   an operator such as concatenation, addition or attention.
+
+:class:`ContentLayerGCN` implements both modes on top of
+:class:`~repro.core.layergcn.LayerGCN`:
+
+* ``mode="init"`` — node embeddings are initialised as a learnable linear
+  projection of the provided content features, then refined by LayerGCN's
+  propagation as usual.
+* ``mode="fuse"`` — standard ID embeddings are propagated, and the final
+  representation adds (or concatenates) a projection of the content features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, init
+from ..autograd.functional import concat
+from ..data import DataSplit
+from .layergcn import LayerGCN
+
+__all__ = ["ContentLayerGCN"]
+
+_FUSION_OPERATORS = ("add", "concat")
+_MODES = ("init", "fuse")
+
+
+class ContentLayerGCN(LayerGCN):
+    """LayerGCN with node content features.
+
+    Parameters
+    ----------
+    split:
+        The interaction data split.
+    user_features, item_features:
+        Optional dense feature matrices of shapes ``(num_users, d_u)`` and
+        ``(num_items, d_i)``.  Missing matrices are replaced by zero features
+        (the corresponding nodes then rely on ID embeddings only).
+    mode:
+        ``"init"`` (content initialises the ego layer) or ``"fuse"`` (content
+        is combined with the propagated ID embeddings).
+    fusion:
+        ``"add"`` or ``"concat"``; only used in ``"fuse"`` mode.
+    """
+
+    name = "content-layergcn"
+
+    def __init__(
+        self,
+        split: DataSplit,
+        user_features: Optional[np.ndarray] = None,
+        item_features: Optional[np.ndarray] = None,
+        mode: str = "fuse",
+        fusion: str = "add",
+        embedding_dim: int = 64,
+        num_layers: int = 4,
+        l2_reg: float = 1e-3,
+        edge_dropout: str = "degreedrop",
+        dropout_ratio: float = 0.1,
+        batch_size: int = 1024,
+        seed: int = 0,
+    ) -> None:
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}")
+        if fusion not in _FUSION_OPERATORS:
+            raise ValueError(f"fusion must be one of {_FUSION_OPERATORS}")
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, edge_dropout=edge_dropout,
+                         dropout_ratio=dropout_ratio, batch_size=batch_size, seed=seed)
+        self.mode = mode
+        self.fusion = fusion
+
+        self._content = self._assemble_content(user_features, item_features)
+        content_dim = self._content.shape[1]
+        self.content_projection = Parameter(
+            init.xavier_uniform((content_dim, embedding_dim), rng=self.rng),
+            name="content_projection")
+
+        if mode == "init":
+            # The ego layer becomes (projected content + a learnable residual
+            # ID embedding), so purely content-driven nodes still train.
+            projected = self._content @ self.content_projection.data
+            self.embeddings.data = self.embeddings.data * 0.1 + projected
+
+    # ------------------------------------------------------------------ #
+    def _assemble_content(self, user_features: Optional[np.ndarray],
+                          item_features: Optional[np.ndarray]) -> np.ndarray:
+        """Stack user and item features into one (N, d) matrix, zero-padded."""
+        user_dim = 0 if user_features is None else np.asarray(user_features).shape[1]
+        item_dim = 0 if item_features is None else np.asarray(item_features).shape[1]
+        dim = max(user_dim, item_dim, 1)
+
+        content = np.zeros((self.num_users + self.num_items, dim), dtype=np.float64)
+        if user_features is not None:
+            user_features = np.asarray(user_features, dtype=np.float64)
+            if user_features.shape[0] != self.num_users:
+                raise ValueError("user_features must have one row per user")
+            content[: self.num_users, : user_features.shape[1]] = user_features
+        if item_features is not None:
+            item_features = np.asarray(item_features, dtype=np.float64)
+            if item_features.shape[0] != self.num_items:
+                raise ValueError("item_features must have one row per item")
+            content[self.num_users:, : item_features.shape[1]] = item_features
+        # Row-normalise so content and ID embeddings live on comparable scales.
+        norms = np.linalg.norm(content, axis=1, keepdims=True)
+        return content / np.maximum(norms, 1e-12)
+
+    # ------------------------------------------------------------------ #
+    def propagate(self) -> Tensor:
+        propagated = super().propagate()
+        if self.mode == "init":
+            return propagated
+        projected_content = Tensor(self._content).matmul(self.content_projection)
+        if self.fusion == "add":
+            return propagated + projected_content
+        return concat([propagated, projected_content], axis=1)

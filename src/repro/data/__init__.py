@@ -1,0 +1,26 @@
+"""Data substrate: datasets, splits, samplers, loaders and synthetic generators."""
+
+from .dataset import DataSplit, InteractionDataset
+from .splits import chronological_split, k_core_filter, leave_last_out_split
+from .sampling import BprBatchIterator, NegativeSampler, UserBatchIterator
+from .synthetic import PRESETS, SyntheticConfig, dataset_preset, generate_dataset, list_presets
+from .loaders import DATASET_CORE_SETTINGS, load_interactions_csv, prepare_split
+
+__all__ = [
+    "DataSplit",
+    "InteractionDataset",
+    "chronological_split",
+    "k_core_filter",
+    "leave_last_out_split",
+    "BprBatchIterator",
+    "NegativeSampler",
+    "UserBatchIterator",
+    "PRESETS",
+    "SyntheticConfig",
+    "dataset_preset",
+    "generate_dataset",
+    "list_presets",
+    "DATASET_CORE_SETTINGS",
+    "load_interactions_csv",
+    "prepare_split",
+]

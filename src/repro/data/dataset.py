@@ -1,0 +1,188 @@
+"""Interaction dataset containers.
+
+An :class:`InteractionDataset` stores the raw (user, item, timestamp) triples
+of one benchmark dataset plus an id-compaction map; a :class:`DataSplit`
+stores the chronological train/validation/test partition used everywhere in
+the evaluation (Section V-A of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graph import BipartiteGraph
+
+__all__ = ["InteractionDataset", "DataSplit"]
+
+
+class InteractionDataset:
+    """A set of timestamped implicit-feedback interactions.
+
+    Parameters
+    ----------
+    users, items:
+        Integer arrays of equal length; ids need not be contiguous — they are
+        compacted on construction.
+    timestamps:
+        Optional float array used for the chronological split.  If omitted,
+        the original ordering is used as a proxy for time.
+    name:
+        Human-readable dataset name (e.g. ``"mooc"``).
+    """
+
+    def __init__(
+        self,
+        users: Sequence[int],
+        items: Sequence[int],
+        timestamps: Optional[Sequence[float]] = None,
+        name: str = "dataset",
+    ) -> None:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same length")
+        if timestamps is None:
+            timestamps = np.arange(users.size, dtype=np.float64)
+        timestamps = np.asarray(timestamps, dtype=np.float64)
+        if timestamps.shape != users.shape:
+            raise ValueError("timestamps must align with users/items")
+
+        unique_users, user_codes = np.unique(users, return_inverse=True)
+        unique_items, item_codes = np.unique(items, return_inverse=True)
+        self.name = name
+        self.users = user_codes.astype(np.int64)
+        self.items = item_codes.astype(np.int64)
+        self.timestamps = timestamps
+        self.user_id_map: Dict[int, int] = {int(raw): idx for idx, raw in enumerate(unique_users)}
+        self.item_id_map: Dict[int, int] = {int(raw): idx for idx, raw in enumerate(unique_items)}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return len(self.user_id_map)
+
+    @property
+    def num_items(self) -> int:
+        return len(self.item_id_map)
+
+    @property
+    def num_interactions(self) -> int:
+        return int(self.users.size)
+
+    @property
+    def sparsity(self) -> float:
+        """1 - |interactions| / (num_users * num_items) as reported in Table I."""
+        possible = self.num_users * self.num_items
+        if possible == 0:
+            return 1.0
+        return 1.0 - self.num_interactions / possible
+
+    def __len__(self) -> int:
+        return self.num_interactions
+
+    def __repr__(self) -> str:
+        return (
+            f"InteractionDataset(name={self.name!r}, users={self.num_users}, "
+            f"items={self.num_items}, interactions={self.num_interactions}, "
+            f"sparsity={self.sparsity:.4%})"
+        )
+
+    # ------------------------------------------------------------------ #
+    def to_graph(self) -> BipartiteGraph:
+        """Full-dataset bipartite graph (train+valid+test)."""
+        return BipartiteGraph(self.num_users, self.num_items, self.users, self.items)
+
+    def chronological_order(self) -> np.ndarray:
+        """Indices that sort interactions by timestamp (stable)."""
+        return np.argsort(self.timestamps, kind="stable")
+
+    def subset(self, indices: np.ndarray, name: Optional[str] = None) -> "InteractionDataset":
+        """New dataset containing only the given interaction rows (ids preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        dataset = InteractionDataset.__new__(InteractionDataset)
+        dataset.name = name or self.name
+        dataset.users = self.users[indices].copy()
+        dataset.items = self.items[indices].copy()
+        dataset.timestamps = self.timestamps[indices].copy()
+        dataset.user_id_map = dict(self.user_id_map)
+        dataset.item_id_map = dict(self.item_id_map)
+        return dataset
+
+    def table_row(self) -> Dict[str, object]:
+        """One row of Table I (dataset statistics)."""
+        return {
+            "dataset": self.name,
+            "num_users": self.num_users,
+            "num_items": self.num_items,
+            "num_interactions": self.num_interactions,
+            "sparsity": self.sparsity,
+        }
+
+
+@dataclass
+class DataSplit:
+    """Chronological train/validation/test partition of a dataset.
+
+    All three partitions share the same user/item id space (sized by the
+    training data after cold-start filtering, see
+    :func:`repro.data.splits.chronological_split`).
+    """
+
+    name: str
+    num_users: int
+    num_items: int
+    train_users: np.ndarray
+    train_items: np.ndarray
+    valid_users: np.ndarray
+    valid_items: np.ndarray
+    test_users: np.ndarray
+    test_items: np.ndarray
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_train(self) -> int:
+        return int(self.train_users.size)
+
+    @property
+    def num_valid(self) -> int:
+        return int(self.valid_users.size)
+
+    @property
+    def num_test(self) -> int:
+        return int(self.test_users.size)
+
+    def train_graph(self) -> BipartiteGraph:
+        """Bipartite graph over the *training* interactions only."""
+        return BipartiteGraph(self.num_users, self.num_items, self.train_users, self.train_items)
+
+    def ground_truth(self, which: str = "test") -> Dict[int, List[int]]:
+        """Mapping user -> list of held-out items in the chosen partition."""
+        if which == "test":
+            users, items = self.test_users, self.test_items
+        elif which in ("valid", "validation"):
+            users, items = self.valid_users, self.valid_items
+        elif which == "train":
+            users, items = self.train_users, self.train_items
+        else:
+            raise ValueError("which must be one of 'train', 'valid', 'test'")
+        truth: Dict[int, List[int]] = {}
+        for user, item in zip(users, items):
+            truth.setdefault(int(user), []).append(int(item))
+        return truth
+
+    def train_positive_sets(self) -> List[set]:
+        """Per-user set of training items (for negative sampling and ranking masks)."""
+        sets: List[set] = [set() for _ in range(self.num_users)]
+        for user, item in zip(self.train_users, self.train_items):
+            sets[int(user)].add(int(item))
+        return sets
+
+    def __repr__(self) -> str:
+        return (
+            f"DataSplit(name={self.name!r}, users={self.num_users}, items={self.num_items}, "
+            f"train={self.num_train}, valid={self.num_valid}, test={self.num_test})"
+        )

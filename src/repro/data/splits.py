@@ -1,0 +1,160 @@
+"""Dataset splitting and filtering utilities.
+
+The paper's protocol (Section V-A):
+
+1. Sort all interactions chronologically.
+2. First 70% → train, next 10% → validation, last 20% → test.
+3. Remove cold-start users/items from validation and test (i.e. users/items
+   that never appear in the training partition).
+4. Games/Food are 5-core filtered, Yelp is 10-core filtered before splitting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .dataset import DataSplit, InteractionDataset
+
+__all__ = ["k_core_filter", "chronological_split", "leave_last_out_split"]
+
+
+def k_core_filter(dataset: InteractionDataset, k_user: int = 5, k_item: int = 5,
+                  max_iterations: int = 50) -> InteractionDataset:
+    """Iteratively remove users/items with fewer than ``k`` interactions.
+
+    The filter alternates user- and item-side pruning until both constraints
+    hold (or ``max_iterations`` is hit), matching the "5-core setting on both
+    items and users" preprocessing used for the Amazon datasets.
+    """
+    users = dataset.users.copy()
+    items = dataset.items.copy()
+    timestamps = dataset.timestamps.copy()
+
+    for _ in range(max_iterations):
+        if users.size == 0:
+            break
+        user_counts = np.bincount(users)
+        item_counts = np.bincount(items)
+        keep = (user_counts[users] >= k_user) & (item_counts[items] >= k_item)
+        if keep.all():
+            break
+        users, items, timestamps = users[keep], items[keep], timestamps[keep]
+
+    return InteractionDataset(users, items, timestamps, name=dataset.name)
+
+
+def chronological_split(
+    dataset: InteractionDataset,
+    train_ratio: float = 0.7,
+    valid_ratio: float = 0.1,
+) -> DataSplit:
+    """Chronological 70/10/20 split with cold-start filtering.
+
+    Users and items are re-indexed so the id space covers exactly the entities
+    that appear in the *training* partition; validation/test interactions that
+    reference unseen users or items are dropped, as in the paper.
+    """
+    if not 0.0 < train_ratio < 1.0 or not 0.0 <= valid_ratio < 1.0:
+        raise ValueError("ratios must lie in (0, 1)")
+    if train_ratio + valid_ratio >= 1.0:
+        raise ValueError("train_ratio + valid_ratio must be < 1")
+
+    order = dataset.chronological_order()
+    users = dataset.users[order]
+    items = dataset.items[order]
+
+    total = users.size
+    train_end = int(round(total * train_ratio))
+    valid_end = int(round(total * (train_ratio + valid_ratio)))
+    train_end = max(1, min(total, train_end))
+    valid_end = max(train_end, min(total, valid_end))
+
+    train_users_raw, train_items_raw = users[:train_end], items[:train_end]
+    valid_users_raw, valid_items_raw = users[train_end:valid_end], items[train_end:valid_end]
+    test_users_raw, test_items_raw = users[valid_end:], items[valid_end:]
+
+    # Re-index over the entities present in training data.
+    unique_train_users = np.unique(train_users_raw)
+    unique_train_items = np.unique(train_items_raw)
+    user_map = {int(raw): idx for idx, raw in enumerate(unique_train_users)}
+    item_map = {int(raw): idx for idx, raw in enumerate(unique_train_items)}
+
+    def remap(raw_users: np.ndarray, raw_items: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        kept_users = []
+        kept_items = []
+        for user, item in zip(raw_users, raw_items):
+            mapped_user = user_map.get(int(user))
+            mapped_item = item_map.get(int(item))
+            if mapped_user is None or mapped_item is None:
+                continue
+            kept_users.append(mapped_user)
+            kept_items.append(mapped_item)
+        return (np.asarray(kept_users, dtype=np.int64), np.asarray(kept_items, dtype=np.int64))
+
+    train_users = np.asarray([user_map[int(u)] for u in train_users_raw], dtype=np.int64)
+    train_items = np.asarray([item_map[int(i)] for i in train_items_raw], dtype=np.int64)
+    valid_users, valid_items = remap(valid_users_raw, valid_items_raw)
+    test_users, test_items = remap(test_users_raw, test_items_raw)
+
+    return DataSplit(
+        name=dataset.name,
+        num_users=len(user_map),
+        num_items=len(item_map),
+        train_users=train_users,
+        train_items=train_items,
+        valid_users=valid_users,
+        valid_items=valid_items,
+        test_users=test_users,
+        test_items=test_items,
+        extra={"train_ratio": train_ratio, "valid_ratio": valid_ratio},
+    )
+
+
+def leave_last_out_split(dataset: InteractionDataset) -> DataSplit:
+    """Per-user leave-last-out split (kept as an alternative protocol).
+
+    For every user the chronologically last interaction goes to the test set,
+    the second-to-last to validation and the rest to training.  Users with
+    fewer than three interactions contribute to training only.  This protocol
+    is not used in the paper's main tables but is handy for quick sanity
+    checks and is exercised by the unit tests.
+    """
+    order = dataset.chronological_order()
+    users = dataset.users[order]
+    items = dataset.items[order]
+
+    per_user: Dict[int, list] = {}
+    for position, (user, item) in enumerate(zip(users, items)):
+        per_user.setdefault(int(user), []).append((position, int(item)))
+
+    train_users, train_items = [], []
+    valid_users, valid_items = [], []
+    test_users, test_items = [], []
+    for user, interactions in per_user.items():
+        if len(interactions) < 3:
+            for _, item in interactions:
+                train_users.append(user)
+                train_items.append(item)
+            continue
+        for _, item in interactions[:-2]:
+            train_users.append(user)
+            train_items.append(item)
+        valid_users.append(user)
+        valid_items.append(interactions[-2][1])
+        test_users.append(user)
+        test_items.append(interactions[-1][1])
+
+    return DataSplit(
+        name=dataset.name,
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        train_users=np.asarray(train_users, dtype=np.int64),
+        train_items=np.asarray(train_items, dtype=np.int64),
+        valid_users=np.asarray(valid_users, dtype=np.int64),
+        valid_items=np.asarray(valid_items, dtype=np.int64),
+        test_users=np.asarray(test_users, dtype=np.int64),
+        test_items=np.asarray(test_items, dtype=np.int64),
+        extra={"protocol": "leave-last-out"},
+    )

@@ -1,0 +1,33 @@
+"""Evaluation: ranking metrics, all-ranking protocol and significance tests."""
+
+from .metrics import (
+    METRIC_FUNCTIONS,
+    average_precision_at_k,
+    dcg_at_k,
+    hit_rate_at_k,
+    idcg_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .ranking import DEFAULT_KS, DEFAULT_METRICS, EvaluationResult, RankingEvaluator, evaluate_model
+from .significance import SignificanceReport, compare_per_user, paired_t_test
+
+__all__ = [
+    "METRIC_FUNCTIONS",
+    "average_precision_at_k",
+    "dcg_at_k",
+    "hit_rate_at_k",
+    "idcg_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "DEFAULT_KS",
+    "DEFAULT_METRICS",
+    "EvaluationResult",
+    "RankingEvaluator",
+    "evaluate_model",
+    "SignificanceReport",
+    "compare_per_user",
+    "paired_t_test",
+]

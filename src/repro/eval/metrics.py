@@ -1,0 +1,109 @@
+"""Top-K ranking metrics.
+
+Implements Recall@K (Eq. 26) and NDCG@K (Eq. 27) exactly as defined in the
+paper, plus Precision@K, HitRate@K and MAP@K which are useful for extended
+analyses and appear in the wider GCN-recommendation literature.
+
+All functions operate on a single user's ranked recommendation list plus the
+set of ground-truth items; aggregate (averaged over users) versions live in
+:mod:`repro.eval.ranking`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+import numpy as np
+
+__all__ = [
+    "recall_at_k",
+    "precision_at_k",
+    "hit_rate_at_k",
+    "dcg_at_k",
+    "idcg_at_k",
+    "ndcg_at_k",
+    "average_precision_at_k",
+    "METRIC_FUNCTIONS",
+]
+
+
+def _hits(ranked_items: Sequence[int], relevant: Set[int], k: int) -> np.ndarray:
+    """Binary relevance vector of the top-``k`` ranked items."""
+    top_k = list(ranked_items[:k])
+    return np.asarray([1.0 if item in relevant else 0.0 for item in top_k], dtype=np.float64)
+
+
+def recall_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Recall@K = (# relevant items in top-K) / (# relevant items) (Eq. 26)."""
+    relevant = set(relevant)
+    if not relevant:
+        return 0.0
+    return float(_hits(ranked_items, relevant, k).sum() / len(relevant))
+
+
+def precision_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Precision@K = (# relevant items in top-K) / K."""
+    relevant = set(relevant)
+    if k <= 0:
+        return 0.0
+    return float(_hits(ranked_items, relevant, k).sum() / k)
+
+
+def hit_rate_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """1 if at least one relevant item appears in the top-K else 0."""
+    relevant = set(relevant)
+    return float(_hits(ranked_items, relevant, k).sum() > 0)
+
+
+def dcg_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """Discounted cumulative gain with binary relevance (Eq. 27).
+
+    The paper uses the ``(2^rel - 1) / log(i + 1)`` formulation with natural
+    ranks starting at 1, which for binary relevance reduces to
+    ``1 / log2(i + 1)``.
+    """
+    relevant = set(relevant)
+    hits = _hits(ranked_items, relevant, k)
+    if hits.size == 0:
+        return 0.0
+    positions = np.arange(1, hits.size + 1, dtype=np.float64)
+    return float(np.sum((np.power(2.0, hits) - 1.0) / np.log2(positions + 1.0)))
+
+
+def idcg_at_k(num_relevant: int, k: int) -> float:
+    """Ideal DCG: all relevant items ranked at the top (capped at K)."""
+    best = min(num_relevant, k)
+    if best <= 0:
+        return 0.0
+    positions = np.arange(1, best + 1, dtype=np.float64)
+    return float(np.sum(1.0 / np.log2(positions + 1.0)))
+
+
+def ndcg_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """NDCG@K = DCG@K / IDCG@K, in [0, 1]."""
+    relevant = set(relevant)
+    ideal = idcg_at_k(len(relevant), k)
+    if ideal == 0.0:
+        return 0.0
+    return dcg_at_k(ranked_items, relevant, k) / ideal
+
+
+def average_precision_at_k(ranked_items: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """MAP@K component for a single user."""
+    relevant = set(relevant)
+    if not relevant:
+        return 0.0
+    hits = _hits(ranked_items, relevant, k)
+    if hits.sum() == 0:
+        return 0.0
+    precisions = np.cumsum(hits) / np.arange(1, hits.size + 1)
+    return float(np.sum(precisions * hits) / min(len(relevant), k))
+
+
+METRIC_FUNCTIONS: Dict[str, callable] = {
+    "recall": recall_at_k,
+    "ndcg": ndcg_at_k,
+    "precision": precision_at_k,
+    "hit_rate": hit_rate_at_k,
+    "map": average_precision_at_k,
+}

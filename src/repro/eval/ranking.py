@@ -1,0 +1,147 @@
+"""Full-ranking (all-ranking) evaluation protocol.
+
+Following Section V-A-3 of the paper: for every user with held-out
+interactions, *all* items the user has not interacted with in the training
+data are candidates; the model scores them, the top-K list is formed and
+Recall@K / NDCG@K are averaged over users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import DataSplit
+from .metrics import METRIC_FUNCTIONS
+
+__all__ = ["EvaluationResult", "RankingEvaluator", "evaluate_model"]
+
+DEFAULT_KS = (10, 20, 50)
+DEFAULT_METRICS = ("recall", "ndcg")
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated metrics plus the per-user values behind them.
+
+    ``values`` maps metric keys (e.g. ``"recall@20"``) to the mean over users;
+    ``per_user`` holds the raw per-user arrays so significance tests (paired
+    t-test across seeds or across models) can be run afterwards.
+    """
+
+    values: Dict[str, float] = field(default_factory=dict)
+    per_user: Dict[str, np.ndarray] = field(default_factory=dict)
+    num_users_evaluated: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.values[key]
+
+    def keys(self) -> Iterable[str]:
+        return self.values.keys()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.values)
+
+    def format_row(self, metrics: Optional[Sequence[str]] = None, precision: int = 4) -> str:
+        """Render metrics in a compact, table-friendly string."""
+        keys = metrics if metrics is not None else sorted(self.values)
+        parts = [f"{key}={self.values[key]:.{precision}f}" for key in keys]
+        return "  ".join(parts)
+
+    def __repr__(self) -> str:
+        return f"EvaluationResult({self.format_row()})"
+
+
+class RankingEvaluator:
+    """Evaluates a recommender against a data split with the all-ranking protocol.
+
+    Parameters
+    ----------
+    split:
+        The train/valid/test split; the train interactions are used as the
+        candidate mask (items already interacted with are excluded).
+    ks:
+        Cut-offs to report (the paper uses 10, 20, 50).
+    metrics:
+        Names from :data:`repro.eval.metrics.METRIC_FUNCTIONS`.
+    """
+
+    def __init__(
+        self,
+        split: DataSplit,
+        ks: Sequence[int] = DEFAULT_KS,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        batch_size: int = 256,
+    ) -> None:
+        unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
+        if unknown:
+            raise KeyError(f"unknown metrics {unknown}; options: {sorted(METRIC_FUNCTIONS)}")
+        if any(k <= 0 for k in ks):
+            raise ValueError("all cut-offs must be positive")
+        self.split = split
+        self.ks = tuple(int(k) for k in ks)
+        self.metrics = tuple(metrics)
+        self.batch_size = int(batch_size)
+        self._train_positives = split.train_positive_sets()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, model, which: str = "test") -> EvaluationResult:
+        """Evaluate ``model`` (anything with ``score_users(users) -> ndarray``)."""
+        ground_truth = self.split.ground_truth(which)
+        users = np.asarray(sorted(ground_truth), dtype=np.int64)
+        result = EvaluationResult()
+        if users.size == 0:
+            return result
+
+        max_k = max(self.ks)
+        per_user: Dict[str, List[float]] = {
+            f"{metric}@{k}": [] for metric in self.metrics for k in self.ks
+        }
+
+        for start in range(0, users.size, self.batch_size):
+            batch_users = users[start:start + self.batch_size]
+            scores = np.asarray(model.score_users(batch_users), dtype=np.float64)
+            if scores.shape != (batch_users.size, self.split.num_items):
+                raise ValueError(
+                    "score_users must return an array of shape (num_users_in_batch, num_items); "
+                    f"got {scores.shape}"
+                )
+            # Mask training positives so they cannot be recommended again.
+            for row, user in enumerate(batch_users):
+                positives = self._train_positives[int(user)]
+                if positives:
+                    scores[row, list(positives)] = -np.inf
+
+            ranked = self._top_k_indices(scores, max_k)
+            for row, user in enumerate(batch_users):
+                relevant = ground_truth[int(user)]
+                ranked_items = ranked[row]
+                for metric in self.metrics:
+                    func = METRIC_FUNCTIONS[metric]
+                    for k in self.ks:
+                        per_user[f"{metric}@{k}"].append(func(ranked_items, relevant, k))
+
+        for key, values in per_user.items():
+            array = np.asarray(values, dtype=np.float64)
+            result.per_user[key] = array
+            result.values[key] = float(array.mean()) if array.size else 0.0
+        result.num_users_evaluated = int(users.size)
+        return result
+
+    @staticmethod
+    def _top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the top-``k`` scores per row, ordered by decreasing score."""
+        k = min(k, scores.shape[1])
+        partition = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        row_scores = np.take_along_axis(scores, partition, axis=1)
+        order = np.argsort(-row_scores, axis=1, kind="stable")
+        return np.take_along_axis(partition, order, axis=1)
+
+
+def evaluate_model(model, split: DataSplit, ks: Sequence[int] = DEFAULT_KS,
+                   metrics: Sequence[str] = DEFAULT_METRICS,
+                   which: str = "test") -> EvaluationResult:
+    """One-shot convenience wrapper around :class:`RankingEvaluator`."""
+    return RankingEvaluator(split, ks=ks, metrics=metrics).evaluate(model, which=which)

@@ -1,0 +1,58 @@
+"""Experiment harnesses reproducing every table and figure of the paper."""
+
+from .common import (
+    DATASET_NAMES,
+    ExperimentScale,
+    format_table,
+    load_splits,
+    metric_keys,
+    train_and_evaluate,
+)
+from .datasets import PAPER_TABLE1, format_table1, run_table1
+from .degree_distribution import degree_skew_summary, item_degree_cdf, run_degree_cdf
+from .dropout_convergence import format_table4, run_convergence_sweep, run_loss_curves, run_table4
+from .hyperparams import best_cell, format_grid, run_hyperparameter_grid
+from .layers import format_layer_sweep, format_table3, run_layer_sweep, run_table3
+from .mixed_dropout import format_table5, run_table5
+from .overall import TABLE2_MODELS, format_table2, run_significance, run_table2
+from .runner import EXPERIMENTS, list_experiments, resolve_scale, run_experiment
+from .weights_visualization import run_layer_similarities, run_weight_collapse, summarize_trajectory
+
+__all__ = [
+    "DATASET_NAMES",
+    "ExperimentScale",
+    "format_table",
+    "load_splits",
+    "metric_keys",
+    "train_and_evaluate",
+    "PAPER_TABLE1",
+    "format_table1",
+    "run_table1",
+    "degree_skew_summary",
+    "item_degree_cdf",
+    "run_degree_cdf",
+    "format_table4",
+    "run_convergence_sweep",
+    "run_loss_curves",
+    "run_table4",
+    "best_cell",
+    "format_grid",
+    "run_hyperparameter_grid",
+    "format_layer_sweep",
+    "format_table3",
+    "run_layer_sweep",
+    "run_table3",
+    "format_table5",
+    "run_table5",
+    "TABLE2_MODELS",
+    "format_table2",
+    "run_significance",
+    "run_table2",
+    "EXPERIMENTS",
+    "list_experiments",
+    "resolve_scale",
+    "run_experiment",
+    "run_layer_similarities",
+    "run_weight_collapse",
+    "summarize_trajectory",
+]

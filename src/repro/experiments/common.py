@@ -1,0 +1,134 @@
+"""Shared helpers for the per-table/per-figure experiment harnesses.
+
+Every experiment in this package is a pure function that builds its workload
+(synthetic dataset presets), trains the relevant models and returns plain
+dictionaries / lists that the benchmark scripts print as the paper's tables.
+
+The defaults are deliberately small (small embedding dimension, few epochs)
+so the full suite runs on a laptop CPU in minutes; the knobs are exposed so a
+user with more time can turn them up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..data import DataSplit, prepare_split
+from ..eval import EvaluationResult, RankingEvaluator
+from ..models import build_model
+from ..training import Trainer, TrainerConfig, TrainingHistory
+
+__all__ = [
+    "ExperimentScale",
+    "DATASET_NAMES",
+    "load_splits",
+    "train_and_evaluate",
+    "format_table",
+    "metric_keys",
+]
+
+# The four datasets of Table I, in the order the paper lists them.
+DATASET_NAMES: Tuple[str, ...] = ("mooc", "games", "food", "yelp")
+
+
+@dataclass
+class ExperimentScale:
+    """Controls how heavy an experiment run is.
+
+    ``quick`` (the default for tests and pytest-benchmark runs) trains small
+    models for a handful of epochs; ``full`` approximates the paper's setup
+    more closely while remaining CPU-friendly.
+    """
+
+    embedding_dim: int = 32
+    epochs: int = 12
+    batch_size: int = 512
+    learning_rate: float = 0.005
+    early_stopping_patience: int = 0
+    dataset_scale: float = 0.5
+    eval_ks: Sequence[int] = (10, 20, 50)
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ExperimentScale":
+        return cls(embedding_dim=16, epochs=5, batch_size=512, dataset_scale=0.3)
+
+    @classmethod
+    def full(cls) -> "ExperimentScale":
+        return cls(embedding_dim=64, epochs=60, batch_size=1024, dataset_scale=1.0,
+                   early_stopping_patience=10)
+
+    def trainer_config(self, **overrides) -> TrainerConfig:
+        config = TrainerConfig(
+            learning_rate=self.learning_rate,
+            epochs=self.epochs,
+            eval_every=1,
+            early_stopping_patience=self.early_stopping_patience,
+            validation_ks=self.eval_ks,
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+
+def load_splits(names: Sequence[str] = DATASET_NAMES, scale: Optional[ExperimentScale] = None,
+                seed: int = 0) -> Dict[str, DataSplit]:
+    """Prepare the train/valid/test splits of the requested dataset presets."""
+    scale = scale or ExperimentScale()
+    return {
+        name: prepare_split(name, seed=seed, scale=scale.dataset_scale)
+        for name in names
+    }
+
+
+def metric_keys(ks: Sequence[int] = (10, 20, 50),
+                metrics: Sequence[str] = ("recall", "ndcg")) -> List[str]:
+    """Metric column names in the paper's ordering (R@10.. then N@10..)."""
+    return [f"{metric}@{k}" for metric in metrics for k in ks]
+
+
+def train_and_evaluate(
+    model_name: str,
+    split: DataSplit,
+    scale: ExperimentScale,
+    model_kwargs: Optional[Dict] = None,
+    trainer_overrides: Optional[Dict] = None,
+    callbacks: Optional[list] = None,
+) -> Tuple[object, TrainingHistory, EvaluationResult]:
+    """Train one model on one split and evaluate it on the test partition."""
+    kwargs = dict(embedding_dim=scale.embedding_dim, batch_size=scale.batch_size,
+                  seed=scale.seed)
+    kwargs.update(model_kwargs or {})
+    model = build_model(model_name, split, **kwargs)
+    config = scale.trainer_config(**(trainer_overrides or {}))
+    trainer = Trainer(model, split, config, callbacks=callbacks)
+    history = trainer.fit()
+    evaluator = RankingEvaluator(split, ks=scale.eval_ks, metrics=("recall", "ndcg"))
+    result = evaluator.evaluate(model, which="test")
+    return model, history, result
+
+
+def format_table(rows: List[Dict[str, object]], columns: Sequence[str],
+                 float_precision: int = 4) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    header = list(columns)
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for column in header:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                rendered.append(f"{value:.{float_precision}f}")
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [max(len(header[i]), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+              else len(header[i]) for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for rendered in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(rendered, widths)))
+    return "\n".join(lines)

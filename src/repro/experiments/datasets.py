@@ -1,0 +1,48 @@
+"""Experiment E1 — Table I: statistics of the experimented datasets.
+
+The paper reports users / items / interactions / sparsity for MOOC, Games,
+Food and Yelp.  Here the same table is produced for the synthetic presets that
+stand in for those datasets (see DESIGN.md for the substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..data import dataset_preset
+from .common import DATASET_NAMES, format_table
+
+__all__ = ["run_table1", "format_table1"]
+
+# The statistics printed in the paper's Table I, for reference alongside the
+# synthetic numbers (useful when judging whether relative shapes match).
+PAPER_TABLE1 = {
+    "mooc": {"num_users": 82_535, "num_items": 1_302, "num_interactions": 458_453, "sparsity": 0.995734},
+    "games": {"num_users": 50_677, "num_items": 16_897, "num_interactions": 454_529, "sparsity": 0.999469},
+    "food": {"num_users": 115_144, "num_items": 39_688, "num_interactions": 1_025_169, "sparsity": 0.999776},
+    "yelp": {"num_users": 99_010, "num_items": 56_441, "num_interactions": 2_762_088, "sparsity": 0.999506},
+}
+
+
+def run_table1(names: Sequence[str] = DATASET_NAMES, seed: int = 0,
+               scale: float = 1.0) -> List[Dict[str, object]]:
+    """Generate each preset and collect its Table I row."""
+    rows: List[Dict[str, object]] = []
+    for name in names:
+        dataset = dataset_preset(name, seed=seed, scale=scale)
+        row = dataset.table_row()
+        paper = PAPER_TABLE1.get(name)
+        if paper:
+            row["paper_sparsity"] = paper["sparsity"]
+            row["paper_users_per_item"] = paper["num_users"] / paper["num_items"]
+            row["users_per_item"] = row["num_users"] / max(row["num_items"], 1)
+        rows.append(row)
+    return rows
+
+
+def format_table1(rows: Optional[List[Dict[str, object]]] = None, **kwargs) -> str:
+    """Human-readable rendering of Table I."""
+    rows = rows if rows is not None else run_table1(**kwargs)
+    columns = ["dataset", "num_users", "num_items", "num_interactions", "sparsity",
+               "users_per_item", "paper_sparsity", "paper_users_per_item"]
+    return format_table(rows, columns)

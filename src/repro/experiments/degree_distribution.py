@@ -1,0 +1,73 @@
+"""Experiment E8 — Fig. 4: cumulative distribution of item degrees.
+
+The paper plots the CDF of the square root of item degree for MOOC and Yelp
+to explain when DegreeDrop helps most: MOOC items have much larger degrees
+(hub courses) while Yelp's distribution is concentrated near zero, making the
+DegreeDrop probabilities hard to differentiate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..data import dataset_preset
+from ..graph import BipartiteGraph
+
+__all__ = ["item_degree_cdf", "run_degree_cdf", "degree_skew_summary"]
+
+
+def item_degree_cdf(graph: BipartiteGraph, num_points: int = 50,
+                    use_square_root: bool = True) -> Dict[str, np.ndarray]:
+    """CDF of (sqrt of) item degree evaluated on a uniform grid.
+
+    Returns ``{"grid": x-values, "cdf": P(degree <= x)}``; the grid spans
+    ``[0, max degree]`` so different datasets can be compared on one plot.
+    """
+    degrees = graph.item_degrees()
+    values = np.sqrt(degrees) if use_square_root else degrees
+    if values.size == 0:
+        return {"grid": np.zeros(num_points), "cdf": np.zeros(num_points)}
+    grid = np.linspace(0.0, float(values.max()), num_points)
+    sorted_values = np.sort(values)
+    cdf = np.searchsorted(sorted_values, grid, side="right") / values.size
+    return {"grid": grid, "cdf": cdf}
+
+
+def run_degree_cdf(
+    datasets: Sequence[str] = ("mooc", "yelp"),
+    seed: int = 0,
+    scale: float = 1.0,
+    num_points: int = 50,
+) -> Dict[str, Dict[str, np.ndarray]]:
+    """Fig. 4: item-degree CDFs of the requested dataset presets."""
+    results: Dict[str, Dict[str, np.ndarray]] = {}
+    for name in datasets:
+        dataset = dataset_preset(name, seed=seed, scale=scale)
+        graph = dataset.to_graph()
+        results[name] = item_degree_cdf(graph, num_points=num_points)
+        results[name]["degrees"] = graph.item_degrees()
+    return results
+
+
+def degree_skew_summary(results: Dict[str, Dict[str, np.ndarray]]) -> List[Dict[str, object]]:
+    """Summary statistics comparing degree skew across datasets.
+
+    Reports the share of items whose *rooted* degree is below 10 (the paper's
+    observation: ~90% for Yelp) and quantiles of the raw degree distribution.
+    """
+    rows: List[Dict[str, object]] = []
+    for name, payload in results.items():
+        degrees = np.asarray(payload["degrees"], dtype=np.float64)
+        rooted = np.sqrt(degrees)
+        rows.append({
+            "dataset": name,
+            "num_items": int(degrees.size),
+            "mean_degree": float(degrees.mean()) if degrees.size else 0.0,
+            "median_degree": float(np.median(degrees)) if degrees.size else 0.0,
+            "p90_degree": float(np.percentile(degrees, 90)) if degrees.size else 0.0,
+            "max_degree": float(degrees.max()) if degrees.size else 0.0,
+            "share_rooted_below_10": float(np.mean(rooted < 10.0)) if degrees.size else 0.0,
+        })
+    return rows

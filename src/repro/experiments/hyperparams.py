@@ -1,0 +1,69 @@
+"""Experiment E11 — Fig. 7: regularisation coefficient vs. edge-dropout ratio.
+
+The paper grids λ ∈ {1e-5 .. 1e-1} against the edge-dropout ratio
+{0, 0.05, 0.1, 0.2} for LayerGCN on MOOC and Yelp and reports R@50 / N@50 in
+a heat map.  This harness reproduces the grid as a list of cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .common import ExperimentScale, format_table, load_splits, train_and_evaluate
+
+__all__ = ["run_hyperparameter_grid", "format_grid", "best_cell"]
+
+DEFAULT_LAMBDAS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+DEFAULT_RATIOS = (0.0, 0.05, 0.1, 0.2)
+
+
+def run_hyperparameter_grid(
+    dataset: str = "mooc",
+    lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+    dropout_ratios: Sequence[float] = DEFAULT_RATIOS,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Train LayerGCN for every (λ, dropout ratio) cell and record R@50 / N@50."""
+    scale = scale or ExperimentScale()
+    scale.seed = seed
+    split = load_splits([dataset], scale=scale, seed=seed)[dataset]
+
+    cells: List[Dict[str, object]] = []
+    for ratio in dropout_ratios:
+        for lam in lambdas:
+            _, history, result = train_and_evaluate(
+                "layergcn", split, scale,
+                model_kwargs={"num_layers": 4, "l2_reg": lam,
+                              "edge_dropout": "degreedrop", "dropout_ratio": ratio})
+            cells.append({
+                "dataset": dataset,
+                "lambda": lam,
+                "dropout_ratio": ratio,
+                "recall@50": result.values.get("recall@50", 0.0),
+                "ndcg@50": result.values.get("ndcg@50", 0.0),
+                "best_epoch": history.best_epoch,
+            })
+    return cells
+
+
+def format_grid(cells: List[Dict[str, object]], metric: str = "recall@50") -> str:
+    """Render the grid as a dropout-ratio (rows) x λ (columns) text heat map."""
+    lambdas = sorted({cell["lambda"] for cell in cells})
+    ratios = sorted({cell["dropout_ratio"] for cell in cells})
+    lookup = {(cell["dropout_ratio"], cell["lambda"]): cell.get(metric, 0.0) for cell in cells}
+    rows = []
+    for ratio in ratios:
+        row: Dict[str, object] = {"dropout_ratio": ratio}
+        for lam in lambdas:
+            row[f"λ={lam:g}"] = lookup.get((ratio, lam), float("nan"))
+        rows.append(row)
+    columns = ["dropout_ratio"] + [f"λ={lam:g}" for lam in lambdas]
+    return f"{metric}\n" + format_table(rows, columns)
+
+
+def best_cell(cells: List[Dict[str, object]], metric: str = "recall@50") -> Dict[str, object]:
+    """Grid cell with the best value of ``metric``."""
+    if not cells:
+        raise ValueError("empty grid")
+    return max(cells, key=lambda cell: cell.get(metric, float("-inf")))

@@ -1,0 +1,77 @@
+"""Experiments E3/E10 — Table III and Fig. 6: effect of the number of layers.
+
+* Table III compares a 4-layer LayerGCN against LightGCN with 1–4 layers on
+  the dense (MOOC-like) dataset.
+* Fig. 6 sweeps both models from 1 to 8 layers and plots R@50 / N@50,
+  showing LightGCN peaking at a shallow depth while LayerGCN keeps improving.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .common import ExperimentScale, format_table, load_splits, train_and_evaluate
+
+__all__ = ["run_table3", "format_table3", "run_layer_sweep", "format_layer_sweep"]
+
+
+def run_table3(
+    dataset: str = "mooc",
+    lightgcn_layers: Sequence[int] = (1, 2, 3, 4),
+    layergcn_layers: int = 4,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """LayerGCN (fixed depth) vs LightGCN at several depths on one dataset."""
+    scale = scale or ExperimentScale()
+    scale.seed = seed
+    split = load_splits([dataset], scale=scale, seed=seed)[dataset]
+
+    rows: List[Dict[str, object]] = []
+    _, _, result = train_and_evaluate(
+        "layergcn", split, scale,
+        model_kwargs={"num_layers": layergcn_layers, "dropout_ratio": 0.1,
+                      "edge_dropout": "degreedrop"})
+    rows.append({"model": f"LayerGCN - {layergcn_layers} Layers", "dataset": dataset,
+                 **result.as_dict()})
+
+    for depth in lightgcn_layers:
+        _, _, result = train_and_evaluate("lightgcn", split, scale,
+                                          model_kwargs={"num_layers": depth})
+        rows.append({"model": f"LightGCN - {depth} Layers", "dataset": dataset,
+                     **result.as_dict()})
+    return rows
+
+
+def format_table3(rows: List[Dict[str, object]], ks: Sequence[int] = (20, 50)) -> str:
+    columns = ["model"] + [f"recall@{k}" for k in ks] + [f"ndcg@{k}" for k in ks]
+    return format_table(rows, columns)
+
+
+def run_layer_sweep(
+    dataset: str = "mooc",
+    layers: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    models: Sequence[str] = ("layergcn", "lightgcn"),
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """The Fig. 6 sweep: both models evaluated at every depth in ``layers``."""
+    scale = scale or ExperimentScale()
+    scale.seed = seed
+    split = load_splits([dataset], scale=scale, seed=seed)[dataset]
+
+    rows: List[Dict[str, object]] = []
+    for model_name in models:
+        for depth in layers:
+            kwargs = {"num_layers": depth}
+            if model_name == "layergcn":
+                kwargs.update({"dropout_ratio": 0.1, "edge_dropout": "degreedrop"})
+            _, _, result = train_and_evaluate(model_name, split, scale, model_kwargs=kwargs)
+            rows.append({"model": model_name, "layers": depth, "dataset": dataset,
+                         **result.as_dict()})
+    return rows
+
+
+def format_layer_sweep(rows: List[Dict[str, object]]) -> str:
+    columns = ["model", "layers", "recall@50", "ndcg@50"]
+    return format_table(rows, columns)

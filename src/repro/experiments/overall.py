@@ -1,0 +1,142 @@
+"""Experiment E2 — Table II: overall performance comparison.
+
+Trains every baseline plus the two LayerGCN variants (with and without edge
+dropout) on each dataset and reports Recall@{10,20,50} and NDCG@{10,20,50}
+under the all-ranking protocol, together with the relative improvement of
+LayerGCN (Full) over the best baseline — the layout of Table II.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..eval import paired_t_test
+from .common import DATASET_NAMES, ExperimentScale, format_table, load_splits, metric_keys, train_and_evaluate
+
+__all__ = ["TABLE2_MODELS", "run_table2", "format_table2", "run_significance"]
+
+# Model name -> (registry key, model-specific kwargs).  Order matches the
+# column order of Table II.
+TABLE2_MODELS: Dict[str, Dict] = {
+    "BPR": {"name": "bpr", "kwargs": {}},
+    "MultiVAE": {"name": "multivae", "kwargs": {}},
+    "EHCF": {"name": "ehcf", "kwargs": {}},
+    "BUIR": {"name": "buir", "kwargs": {}},
+    "NGCF": {"name": "ngcf", "kwargs": {"num_layers": 2}},
+    "LR-GCCF": {"name": "lr-gccf", "kwargs": {"num_layers": 2}},
+    "LightGCN": {"name": "lightgcn", "kwargs": {"num_layers": 3}},
+    "UltraGCN": {"name": "ultragcn", "kwargs": {}},
+    "IMP-GCN": {"name": "imp-gcn", "kwargs": {"num_layers": 2}},
+    "LayerGCN (w/o Dropout)": {"name": "layergcn", "kwargs": {"num_layers": 4, "dropout_ratio": 0.0}},
+    "LayerGCN (Full)": {"name": "layergcn",
+                        "kwargs": {"num_layers": 4, "dropout_ratio": 0.1,
+                                   "edge_dropout": "degreedrop"}},
+}
+
+_PROPOSED = ("LayerGCN (w/o Dropout)", "LayerGCN (Full)")
+
+
+def run_table2(
+    datasets: Sequence[str] = DATASET_NAMES,
+    models: Optional[Sequence[str]] = None,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Run the overall comparison and return one row per (dataset, model).
+
+    Each row carries all six metric columns; rows for ``LayerGCN (Full)`` also
+    carry ``improvement_<metric>`` columns computed against the best baseline
+    on the same dataset, exactly as the "improv." column of Table II.
+    """
+    scale = scale or ExperimentScale()
+    scale.seed = seed
+    models = list(models or TABLE2_MODELS)
+    unknown = [m for m in models if m not in TABLE2_MODELS]
+    if unknown:
+        raise KeyError(f"unknown Table II models {unknown}")
+
+    splits = load_splits(datasets, scale=scale, seed=seed)
+    keys = metric_keys(scale.eval_ks)
+    rows: List[Dict[str, object]] = []
+
+    for dataset in datasets:
+        split = splits[dataset]
+        per_model: Dict[str, Dict[str, float]] = {}
+        for display_name in models:
+            spec = TABLE2_MODELS[display_name]
+            _, _, result = train_and_evaluate(spec["name"], split, scale,
+                                              model_kwargs=spec["kwargs"])
+            per_model[display_name] = result.as_dict()
+            row: Dict[str, object] = {"dataset": dataset, "model": display_name}
+            row.update({key: result.values.get(key, 0.0) for key in keys})
+            rows.append(row)
+
+        # Improvement of LayerGCN (Full) over the best baseline per metric.
+        baselines = [name for name in models if name not in _PROPOSED]
+        if "LayerGCN (Full)" in per_model and baselines:
+            full = per_model["LayerGCN (Full)"]
+            for key in keys:
+                best_baseline = max(per_model[name].get(key, 0.0) for name in baselines)
+                improvement = ((full.get(key, 0.0) - best_baseline) / best_baseline * 100.0
+                               if best_baseline > 0 else float("nan"))
+                for row in rows:
+                    if row["dataset"] == dataset and row["model"] == "LayerGCN (Full)":
+                        row[f"improvement_{key}"] = improvement
+    return rows
+
+
+def format_table2(rows: List[Dict[str, object]], ks: Sequence[int] = (10, 20, 50)) -> str:
+    """Render the Table II rows grouped by dataset."""
+    keys = metric_keys(ks)
+    blocks: List[str] = []
+    datasets = sorted({row["dataset"] for row in rows}, key=str)
+    for dataset in datasets:
+        dataset_rows = [row for row in rows if row["dataset"] == dataset]
+        blocks.append(f"== {dataset} ==")
+        blocks.append(format_table(dataset_rows, ["model"] + keys))
+        full_rows = [row for row in dataset_rows if row["model"] == "LayerGCN (Full)"]
+        if full_rows and any(f"improvement_{key}" in full_rows[0] for key in keys):
+            improvements = ", ".join(
+                f"{key}: {full_rows[0].get(f'improvement_{key}', float('nan')):+.2f}%"
+                for key in keys)
+            blocks.append(f"LayerGCN (Full) vs best baseline: {improvements}")
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+def run_significance(
+    dataset: str = "mooc",
+    baseline: str = "LightGCN",
+    metric: str = "recall@20",
+    seeds: Sequence[int] = (0, 1, 2, 3, 4),
+    scale: Optional[ExperimentScale] = None,
+) -> Dict[str, object]:
+    """5-seed paired t-test of LayerGCN (Full) vs one baseline (Table II footnote)."""
+    scale = scale or ExperimentScale.quick()
+    layergcn_scores: List[float] = []
+    baseline_scores: List[float] = []
+    for seed in seeds:
+        scale.seed = seed
+        splits = load_splits([dataset], scale=scale, seed=seed)
+        split = splits[dataset]
+        spec_full = TABLE2_MODELS["LayerGCN (Full)"]
+        spec_base = TABLE2_MODELS[baseline]
+        _, _, result_full = train_and_evaluate(spec_full["name"], split, scale,
+                                               model_kwargs=spec_full["kwargs"])
+        _, _, result_base = train_and_evaluate(spec_base["name"], split, scale,
+                                               model_kwargs=spec_base["kwargs"])
+        layergcn_scores.append(result_full.values.get(metric, 0.0))
+        baseline_scores.append(result_base.values.get(metric, 0.0))
+    report = paired_t_test(layergcn_scores, baseline_scores)
+    return {
+        "dataset": dataset,
+        "baseline": baseline,
+        "metric": metric,
+        "layergcn_scores": layergcn_scores,
+        "baseline_scores": baseline_scores,
+        "p_value": report.p_value,
+        "significant": report.significant,
+        "improvement_percent": report.improvement,
+    }

@@ -1,0 +1,85 @@
+"""Experiment registry: run any paper table/figure by its identifier.
+
+>>> from repro.experiments import run_experiment, list_experiments
+>>> rows = run_experiment("table3", scale="quick")
+
+The registry maps the identifiers used in DESIGN.md / EXPERIMENTS.md to the
+functions in this package, so benchmarks, examples and the documentation all
+refer to experiments the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .common import ExperimentScale
+from .datasets import run_table1
+from .degree_distribution import run_degree_cdf
+from .dropout_convergence import run_convergence_sweep, run_loss_curves, run_table4
+from .hyperparams import run_hyperparameter_grid
+from .layers import run_layer_sweep, run_table3
+from .mixed_dropout import run_table5
+from .overall import run_table2
+from .weights_visualization import run_layer_similarities, run_weight_collapse
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment", "resolve_scale"]
+
+
+def resolve_scale(scale) -> Optional[ExperimentScale]:
+    """Accept an ExperimentScale, the strings 'quick'/'full', or None."""
+    if scale is None or isinstance(scale, ExperimentScale):
+        return scale
+    if isinstance(scale, str):
+        if scale == "quick":
+            return ExperimentScale.quick()
+        if scale == "full":
+            return ExperimentScale.full()
+        raise ValueError("scale string must be 'quick' or 'full'")
+    raise TypeError("scale must be None, 'quick', 'full' or an ExperimentScale")
+
+
+# Identifier -> (callable, short description).  All callables accept
+# ``scale=`` except table1/fig4 which operate on raw datasets.
+EXPERIMENTS: Dict[str, Dict[str, object]] = {
+    "table1": {"runner": run_table1, "takes_scale": False,
+               "description": "Dataset statistics (users/items/interactions/sparsity)"},
+    "table2": {"runner": run_table2, "takes_scale": True,
+               "description": "Overall performance comparison of all models"},
+    "table3": {"runner": run_table3, "takes_scale": True,
+               "description": "LayerGCN vs LightGCN across layer counts (MOOC)"},
+    "table4": {"runner": run_table4, "takes_scale": True,
+               "description": "DegreeDrop vs DropEdge accuracy at fixed/best epochs"},
+    "table5": {"runner": run_table5, "takes_scale": True,
+               "description": "Mixed DegreeDrop/DropEdge comparison"},
+    "fig1": {"runner": run_weight_collapse, "takes_scale": True,
+             "description": "Learnable layer weights collapse onto the ego layer"},
+    "fig3a": {"runner": run_convergence_sweep, "takes_scale": True,
+              "description": "Best epoch per edge-dropout ratio (convergence)"},
+    "fig3b": {"runner": run_loss_curves, "takes_scale": True,
+              "description": "Batch-loss curves for DegreeDrop vs DropEdge"},
+    "fig4": {"runner": run_degree_cdf, "takes_scale": False,
+             "description": "CDF of rooted item degrees (MOOC vs Yelp)"},
+    "fig5": {"runner": run_layer_similarities, "takes_scale": True,
+             "description": "LayerGCN per-layer refinement similarities during training"},
+    "fig6": {"runner": run_layer_sweep, "takes_scale": True,
+             "description": "Effect of the number of layers (1-8) on both models"},
+    "fig7": {"runner": run_hyperparameter_grid, "takes_scale": True,
+             "description": "Regularisation vs dropout-ratio grid"},
+}
+
+
+def list_experiments() -> List[str]:
+    """Identifiers of all reproducible tables and figures."""
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(identifier: str, scale=None, **kwargs):
+    """Run one experiment by identifier, e.g. ``run_experiment('table3', scale='quick')``."""
+    key = identifier.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment '{identifier}'; options: {list_experiments()}")
+    spec = EXPERIMENTS[key]
+    runner: Callable = spec["runner"]
+    if spec["takes_scale"]:
+        kwargs.setdefault("scale", resolve_scale(scale))
+    return runner(**kwargs)

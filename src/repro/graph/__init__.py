@@ -1,0 +1,25 @@
+"""Graph substrate: bipartite interaction graphs, normalisation and pruning."""
+
+from .bipartite import BipartiteGraph
+from .adjacency import (
+    add_self_loops,
+    normalized_adjacency,
+    propagation_matrix,
+    renormalize,
+    symmetric_normalize,
+)
+from .pruning import DegreeDrop, DropEdge, EdgeDropout, MixedDrop, build_edge_dropout
+
+__all__ = [
+    "BipartiteGraph",
+    "add_self_loops",
+    "normalized_adjacency",
+    "propagation_matrix",
+    "renormalize",
+    "symmetric_normalize",
+    "EdgeDropout",
+    "DropEdge",
+    "DegreeDrop",
+    "MixedDrop",
+    "build_edge_dropout",
+]

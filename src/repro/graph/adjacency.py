@@ -1,0 +1,83 @@
+"""Adjacency normalisation utilities.
+
+Two normalisations appear in the paper:
+
+* ``symmetric_normalize`` — :math:`D^{-1/2} A D^{-1/2}`, the LightGCN /
+  LayerGCN transition matrix (Eq. 2 and the matrix used at inference).
+* ``renormalize`` — the GCN "re-normalisation trick"
+  :math:`\\hat{D}^{-1/2} (A + I) \\hat{D}^{-1/2}` (Eq. 1), also applied to the
+  pruned adjacency :math:`A_p` during LayerGCN training (Section III-B-1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from .bipartite import BipartiteGraph
+
+__all__ = [
+    "symmetric_normalize",
+    "renormalize",
+    "add_self_loops",
+    "normalized_adjacency",
+    "propagation_matrix",
+]
+
+
+def add_self_loops(adjacency: sp.spmatrix, weight: float = 1.0) -> sp.csr_matrix:
+    """Return ``A + weight * I`` in CSR format."""
+    n = adjacency.shape[0]
+    return (adjacency + weight * sp.eye(n, format="csr")).tocsr()
+
+
+def symmetric_normalize(adjacency: sp.spmatrix, eps: float = 1e-12) -> sp.csr_matrix:
+    """Symmetric normalisation :math:`D^{-1/2} A D^{-1/2}`.
+
+    Isolated nodes (degree 0) keep all-zero rows/columns instead of producing
+    NaNs; ``eps`` only guards the division.
+    """
+    adjacency = adjacency.tocsr().astype(np.float64)
+    degrees = np.asarray(adjacency.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    positive = degrees > eps
+    inv_sqrt[positive] = 1.0 / np.sqrt(degrees[positive])
+    d_inv_sqrt = sp.diags(inv_sqrt)
+    return (d_inv_sqrt @ adjacency @ d_inv_sqrt).tocsr()
+
+
+def renormalize(adjacency: sp.spmatrix, self_loop_weight: float = 1.0) -> sp.csr_matrix:
+    """GCN re-normalisation trick: :math:`\\hat{D}^{-1/2} (A + I) \\hat{D}^{-1/2}`."""
+    return symmetric_normalize(add_self_loops(adjacency, weight=self_loop_weight))
+
+
+def normalized_adjacency(graph: BipartiteGraph, self_loops: bool = False) -> sp.csr_matrix:
+    """Normalised adjacency of the full bipartite graph.
+
+    ``self_loops=False`` gives the LightGCN/LayerGCN transition matrix,
+    ``self_loops=True`` gives the vanilla-GCN re-normalised matrix.
+    """
+    adjacency = graph.adjacency_matrix()
+    if self_loops:
+        return renormalize(adjacency)
+    return symmetric_normalize(adjacency)
+
+
+def propagation_matrix(
+    graph: BipartiteGraph,
+    user_indices: Optional[np.ndarray] = None,
+    item_indices: Optional[np.ndarray] = None,
+    self_loops: bool = False,
+) -> sp.csr_matrix:
+    """Normalised propagation matrix for an (optionally pruned) edge subset.
+
+    This is the matrix :math:`\\hat{A}_p` that LayerGCN uses during training
+    (Section III-B-1): build the adjacency from the retained edges, then apply
+    the same normalisation as for the full graph.
+    """
+    adjacency = graph.adjacency_matrix(user_indices=user_indices, item_indices=item_indices)
+    if self_loops:
+        return renormalize(adjacency)
+    return symmetric_normalize(adjacency)

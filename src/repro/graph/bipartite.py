@@ -1,0 +1,192 @@
+"""Bipartite user-item interaction graph.
+
+The paper treats the interaction matrix :math:`R \\in \\{0,1\\}^{N_U \\times N_I}`
+as a bipartite graph whose adjacency matrix is
+
+.. math::
+
+    A = \\begin{pmatrix} 0 & R \\\\ R^\\top & 0 \\end{pmatrix}    \\qquad (Eq.~4)
+
+with users occupying node indices ``[0, num_users)`` and items occupying
+``[num_users, num_users + num_items)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["BipartiteGraph"]
+
+
+@dataclass(frozen=True)
+class _GraphStats:
+    """Simple container for summary statistics used by Table I."""
+
+    num_users: int
+    num_items: int
+    num_interactions: int
+    sparsity: float
+
+
+class BipartiteGraph:
+    """Immutable user-item bipartite interaction graph.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Sizes of the two node partitions.
+    user_indices, item_indices:
+        Parallel integer arrays describing the observed interactions.  Item
+        indices are *local* (``0 .. num_items-1``); the graph maps them to the
+        global node id space internally.
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        user_indices: Sequence[int],
+        item_indices: Sequence[int],
+    ) -> None:
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        item_indices = np.asarray(item_indices, dtype=np.int64)
+        if user_indices.shape != item_indices.shape:
+            raise ValueError("user_indices and item_indices must have the same length")
+        if user_indices.size and (user_indices.min() < 0 or user_indices.max() >= num_users):
+            raise ValueError("user index out of range")
+        if item_indices.size and (item_indices.min() < 0 or item_indices.max() >= num_items):
+            raise ValueError("item index out of range")
+
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.user_indices = user_indices
+        self.item_indices = item_indices
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_nodes(self) -> int:
+        """Total node count N = N_U + N_I."""
+        return self.num_users + self.num_items
+
+    @property
+    def num_edges(self) -> int:
+        """Number of user-item interactions M (undirected edges)."""
+        return int(self.user_indices.size)
+
+    @property
+    def sparsity(self) -> float:
+        """1 - |E| / (N_U * N_I), matching the 'Sparsity' column of Table I."""
+        possible = self.num_users * self.num_items
+        if possible == 0:
+            return 1.0
+        return 1.0 - self.num_edges / possible
+
+    def stats(self) -> _GraphStats:
+        return _GraphStats(self.num_users, self.num_items, self.num_edges, self.sparsity)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"edges={self.num_edges}, sparsity={self.sparsity:.4%})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Matrix views
+    # ------------------------------------------------------------------ #
+    def interaction_matrix(self) -> sp.csr_matrix:
+        """The binary interaction matrix R (users x items)."""
+        values = np.ones(self.num_edges, dtype=np.float64)
+        matrix = sp.csr_matrix(
+            (values, (self.user_indices, self.item_indices)),
+            shape=(self.num_users, self.num_items),
+        )
+        # Collapse duplicate interactions to a single binary entry.
+        matrix.data[:] = 1.0
+        return matrix
+
+    def adjacency_matrix(
+        self,
+        user_indices: Optional[np.ndarray] = None,
+        item_indices: Optional[np.ndarray] = None,
+    ) -> sp.csr_matrix:
+        """Symmetric bipartite adjacency A over the full node id space (Eq. 4).
+
+        ``user_indices``/``item_indices`` default to every observed edge; the
+        pruning samplers pass a subset to build the sparsified adjacency A_p.
+        """
+        if user_indices is None:
+            user_indices = self.user_indices
+        if item_indices is None:
+            item_indices = self.item_indices
+        user_indices = np.asarray(user_indices, dtype=np.int64)
+        item_indices = np.asarray(item_indices, dtype=np.int64)
+        item_nodes = item_indices + self.num_users
+        rows = np.concatenate([user_indices, item_nodes])
+        cols = np.concatenate([item_nodes, user_indices])
+        values = np.ones(rows.size, dtype=np.float64)
+        adjacency = sp.csr_matrix((values, (rows, cols)), shape=(self.num_nodes, self.num_nodes))
+        adjacency.data[:] = 1.0
+        return adjacency
+
+    # ------------------------------------------------------------------ #
+    # Degree views
+    # ------------------------------------------------------------------ #
+    def user_degrees(self) -> np.ndarray:
+        """Number of interactions per user."""
+        return np.bincount(self.user_indices, minlength=self.num_users).astype(np.float64)
+
+    def item_degrees(self) -> np.ndarray:
+        """Number of interactions per item."""
+        return np.bincount(self.item_indices, minlength=self.num_items).astype(np.float64)
+
+    def node_degrees(self) -> np.ndarray:
+        """Degrees over the full node id space (users then items)."""
+        return np.concatenate([self.user_degrees(), self.item_degrees()])
+
+    def edge_endpoints(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Global node ids (user node, item node) of every edge."""
+        return self.user_indices.copy(), self.item_indices + self.num_users
+
+    # ------------------------------------------------------------------ #
+    # Neighbourhood access
+    # ------------------------------------------------------------------ #
+    def user_items(self) -> Dict[int, np.ndarray]:
+        """Mapping user -> sorted array of interacted item indices."""
+        matrix = self.interaction_matrix()
+        return {
+            user: matrix.indices[matrix.indptr[user]:matrix.indptr[user + 1]]
+            for user in range(self.num_users)
+        }
+
+    def positive_item_sets(self) -> List[set]:
+        """Per-user set of interacted items, used by the negative samplers."""
+        sets: List[set] = [set() for _ in range(self.num_users)]
+        for user, item in zip(self.user_indices, self.item_indices):
+            sets[user].add(int(item))
+        return sets
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]], num_users: Optional[int] = None,
+                   num_items: Optional[int] = None) -> "BipartiteGraph":
+        """Build a graph from an iterable of ``(user, item)`` pairs."""
+        pairs = list(pairs)
+        if pairs:
+            users, items = zip(*pairs)
+        else:
+            users, items = (), ()
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if num_users is None:
+            num_users = int(users.max()) + 1 if users.size else 0
+        if num_items is None:
+            num_items = int(items.max()) + 1 if items.size else 0
+        return cls(num_users, num_items, users, items)

@@ -1,0 +1,147 @@
+"""Edge-dropout (graph sparsification) strategies.
+
+The paper compares three ways of pruning the training graph each epoch:
+
+* :class:`DropEdge` — uniform random pruning (Rong et al., ICLR 2020), the
+  baseline the paper calls "DropEdge"/"EdgeDrop".
+* :class:`DegreeDrop` — the proposed degree-sensitive pruning (Eq. 5): an edge
+  connecting nodes ``i`` and ``j`` is *kept* with probability proportional to
+  :math:`1 / (\\sqrt{d_i}\\sqrt{d_j})`, so edges between popular nodes are the
+  most likely to be removed.
+* :class:`MixedDrop` — alternates the two on a per-epoch basis (Table V).
+
+All samplers return the *kept* edge index array; the caller rebuilds the
+pruned propagation matrix from it via
+:func:`repro.graph.adjacency.propagation_matrix`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .bipartite import BipartiteGraph
+
+__all__ = ["EdgeDropout", "DropEdge", "DegreeDrop", "MixedDrop", "build_edge_dropout"]
+
+
+class EdgeDropout:
+    """Base class for edge-dropout samplers.
+
+    Parameters
+    ----------
+    dropout_ratio:
+        Fraction ``m / M`` of edges removed each call.  ``0`` disables pruning.
+    rng:
+        Optional ``numpy.random.Generator`` for reproducibility.
+    """
+
+    name = "none"
+
+    def __init__(self, dropout_ratio: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        if not 0.0 <= dropout_ratio < 1.0:
+            raise ValueError("dropout_ratio must lie in [0, 1)")
+        self.dropout_ratio = float(dropout_ratio)
+        self.rng = rng or np.random.default_rng()
+
+    # ------------------------------------------------------------------ #
+    def keep_probabilities(self, graph: BipartiteGraph) -> np.ndarray:
+        """Unnormalised per-edge keep weights; subclasses override."""
+        return np.ones(graph.num_edges, dtype=np.float64)
+
+    def num_kept(self, num_edges: int) -> int:
+        """Number of edges retained after pruning (M - m)."""
+        kept = int(round(num_edges * (1.0 - self.dropout_ratio)))
+        return max(1, min(num_edges, kept)) if num_edges else 0
+
+    def sample_edges(self, graph: BipartiteGraph, epoch: int = 0) -> np.ndarray:
+        """Indices (into the graph's edge arrays) of the edges to keep."""
+        num_edges = graph.num_edges
+        if num_edges == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.dropout_ratio <= 0.0:
+            return np.arange(num_edges, dtype=np.int64)
+        kept = self.num_kept(num_edges)
+        weights = self.keep_probabilities(graph)
+        total = weights.sum()
+        if total <= 0:
+            probabilities = np.full(num_edges, 1.0 / num_edges)
+        else:
+            probabilities = weights / total
+        return self.rng.choice(num_edges, size=kept, replace=False, p=probabilities)
+
+    def __call__(self, graph: BipartiteGraph, epoch: int = 0) -> np.ndarray:
+        return self.sample_edges(graph, epoch=epoch)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(dropout_ratio={self.dropout_ratio})"
+
+
+class DropEdge(EdgeDropout):
+    """Uniform random edge pruning (the DropEdge baseline)."""
+
+    name = "dropedge"
+
+    def keep_probabilities(self, graph: BipartiteGraph) -> np.ndarray:
+        return np.ones(graph.num_edges, dtype=np.float64)
+
+
+class DegreeDrop(EdgeDropout):
+    """Degree-sensitive edge pruning (Eq. 5 of the paper).
+
+    The keep probability of edge ``e = (i, j)`` is
+    ``p_e = 1 / (sqrt(d_i) * sqrt(d_j))`` where the degrees are taken on the
+    *full* training graph, so edges between two popular nodes are dropped
+    preferentially.
+    """
+
+    name = "degreedrop"
+
+    def keep_probabilities(self, graph: BipartiteGraph) -> np.ndarray:
+        user_deg = graph.user_degrees()
+        item_deg = graph.item_degrees()
+        d_u = user_deg[graph.user_indices]
+        d_i = item_deg[graph.item_indices]
+        product = np.sqrt(np.maximum(d_u, 1.0)) * np.sqrt(np.maximum(d_i, 1.0))
+        return 1.0 / product
+
+
+class MixedDrop(EdgeDropout):
+    """Alternate DegreeDrop and DropEdge across epochs (Table V, "Mixed").
+
+    Even epochs use the degree-sensitive distribution, odd epochs use the
+    uniform one; the paper describes this as "alternating degree-sensitive and
+    random pruning".
+    """
+
+    name = "mixed"
+
+    def __init__(self, dropout_ratio: float = 0.1, rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__(dropout_ratio, rng)
+        self._degree = DegreeDrop(dropout_ratio, self.rng)
+        self._uniform = DropEdge(dropout_ratio, self.rng)
+
+    def sample_edges(self, graph: BipartiteGraph, epoch: int = 0) -> np.ndarray:
+        sampler = self._degree if epoch % 2 == 0 else self._uniform
+        return sampler.sample_edges(graph, epoch=epoch)
+
+
+_REGISTRY = {
+    DropEdge.name: DropEdge,
+    DegreeDrop.name: DegreeDrop,
+    MixedDrop.name: MixedDrop,
+    "uniform": DropEdge,
+    "degree": DegreeDrop,
+}
+
+
+def build_edge_dropout(kind: str, dropout_ratio: float,
+                       rng: Optional[np.random.Generator] = None) -> Optional[EdgeDropout]:
+    """Factory used by model configs: ``kind`` in {'dropedge', 'degreedrop', 'mixed', 'none'}."""
+    if kind in (None, "none", ""):
+        return None
+    key = kind.lower()
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown edge-dropout kind '{kind}'; options: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](dropout_ratio=dropout_ratio, rng=rng)

@@ -1,0 +1,33 @@
+"""Baseline recommendation models compared against LayerGCN (Table II)."""
+
+from .base import Recommender
+from .graph_base import GraphRecommender
+from .bpr_mf import BprMF
+from .buir import BUIR
+from .ehcf import EHCF
+from .impgcn import IMPGCN
+from .lightgcn import LightGCN, WeightedLightGCN
+from .lrgccf import LRGCCF
+from .multivae import MultiVAE
+from .ngcf import NGCF
+from .ultragcn import UltraGCN
+from .registry import MODEL_REGISTRY, available_models, build_model, register_model
+
+__all__ = [
+    "Recommender",
+    "GraphRecommender",
+    "BprMF",
+    "BUIR",
+    "EHCF",
+    "IMPGCN",
+    "LightGCN",
+    "WeightedLightGCN",
+    "LRGCCF",
+    "MultiVAE",
+    "NGCF",
+    "UltraGCN",
+    "MODEL_REGISTRY",
+    "available_models",
+    "build_model",
+    "register_model",
+]

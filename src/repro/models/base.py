@@ -1,0 +1,114 @@
+"""Shared recommender interface.
+
+Every model in the library (the LayerGCN core model and all baselines)
+subclasses :class:`Recommender` so that the :class:`repro.training.Trainer`,
+the :class:`repro.eval.RankingEvaluator` and the benchmark harness can treat
+them interchangeably.
+
+The contract:
+
+* ``make_batches(rng)`` yields training batches for one epoch.
+* ``train_step(batch)`` returns the scalar loss :class:`Tensor` for a batch.
+* ``begin_epoch(epoch)`` is called once per epoch before batching (LayerGCN
+  resamples its pruned adjacency here).
+* ``after_step()`` is called after each optimiser step (BUIR updates its
+  momentum target network here).
+* ``score_users(users)`` returns a dense ``(len(users), num_items)`` score
+  matrix for evaluation, computed without building an autograd graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Module, Tensor
+from ..data import BprBatchIterator, DataSplit
+
+__all__ = ["Recommender"]
+
+
+class Recommender(Module):
+    """Base class for all recommendation models.
+
+    Parameters
+    ----------
+    split:
+        Train/validation/test split the model is bound to; the training graph
+        and the id space come from here.
+    embedding_dim:
+        Latent dimensionality ``T`` (the paper fixes 64 for all models).
+    batch_size:
+        Mini-batch size used by :meth:`make_batches`.
+    seed:
+        Seed of the model-local RNG (initialisation, negative sampling,
+        edge dropout).
+    """
+
+    name = "recommender"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64,
+                 batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__()
+        if embedding_dim <= 0:
+            raise ValueError("embedding_dim must be positive")
+        self.split = split
+        self.num_users = split.num_users
+        self.num_items = split.num_items
+        self.embedding_dim = int(embedding_dim)
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------ #
+    # Training protocol
+    # ------------------------------------------------------------------ #
+    def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
+        """Default: shuffled BPR (user, positive, negative) batches."""
+        return iter(BprBatchIterator(self.split, batch_size=self.batch_size,
+                                     rng=rng or self.rng))
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Hook invoked at the start of every training epoch."""
+
+    def after_step(self) -> None:
+        """Hook invoked after every optimiser step."""
+
+    def train_step(self, batch) -> Tensor:
+        """Compute the training loss for one batch."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Inference protocol
+    # ------------------------------------------------------------------ #
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        """Dense scores of every item for the given users (no gradient)."""
+        raise NotImplementedError
+
+    def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
+        """Scores of specific (user, item) pairs; default slices score_users."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        scores = self.score_users(users)
+        return scores[np.arange(users.size), items]
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_train: bool = True) -> List[int]:
+        """Top-``k`` item recommendations for a single user."""
+        scores = np.asarray(self.score_users([user]))[0].astype(np.float64)
+        if exclude_train:
+            seen = [item for u, item in zip(self.split.train_users, self.split.train_items)
+                    if int(u) == int(user)]
+            if seen:
+                scores[np.asarray(seen, dtype=np.int64)] = -np.inf
+        k = min(k, scores.size)
+        top = np.argpartition(-scores, kth=k - 1)[:k]
+        return [int(item) for item in top[np.argsort(-scores[top], kind="stable")]]
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(users={self.num_users}, items={self.num_items}, "
+            f"dim={self.embedding_dim})"
+        )

@@ -1,0 +1,118 @@
+"""BUIR (Lee et al., SIGIR 2021): bootstrapping user and item representations.
+
+BUIR learns without negative samples by maintaining two encoders: an *online*
+encoder updated by gradients and a *target* encoder updated as an exponential
+moving average of the online one.  The online side additionally has a linear
+predictor; the loss pulls ``predictor(online_user)`` towards ``target_item``
+and ``predictor(online_item)`` towards ``target_user`` for observed pairs.
+
+Following the paper's experimental setup (Section V-A-2), the encoders use a
+LightGCN backbone over the training graph.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Parameter, SparseTensor, Tensor, init, no_grad, sparse_matmul
+from ..autograd.functional import l2_normalize
+from ..data import DataSplit
+from ..graph import normalized_adjacency
+from .base import Recommender
+
+__all__ = ["BUIR"]
+
+
+class BUIR(Recommender):
+    """BUIR with a LightGCN backbone and momentum target network."""
+
+    name = "buir"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 2,
+                 momentum: float = 0.995, batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
+        if not 0.0 < momentum < 1.0:
+            raise ValueError("momentum must lie in (0, 1)")
+        self.num_layers = int(num_layers)
+        self.momentum = float(momentum)
+
+        graph = split.train_graph()
+        self.adjacency = SparseTensor(normalized_adjacency(graph, self_loops=False))
+
+        num_nodes = self.num_users + self.num_items
+        self.online_embeddings = Parameter(
+            init.xavier_uniform((num_nodes, embedding_dim), rng=self.rng), name="online_embeddings")
+        self.predictor_weight = Parameter(
+            init.xavier_uniform((embedding_dim, embedding_dim), rng=self.rng), name="predictor_weight")
+        self.predictor_bias = Parameter(np.zeros(embedding_dim), name="predictor_bias")
+        # The target network is a plain array (never receives gradients).
+        self._target_embeddings = self.online_embeddings.data.copy()
+
+    # ------------------------------------------------------------------ #
+    def _encode(self, embeddings: Tensor) -> Tensor:
+        """LightGCN-style mean readout over the propagation layers."""
+        layers = [embeddings]
+        current = embeddings
+        for _ in range(self.num_layers):
+            current = sparse_matmul(self.adjacency, current)
+            layers.append(current)
+        total = layers[0]
+        for layer in layers[1:]:
+            total = total + layer
+        return total * (1.0 / len(layers))
+
+    def _encode_target(self) -> np.ndarray:
+        matrix = self.adjacency.matrix
+        layers = [self._target_embeddings]
+        current = self._target_embeddings
+        for _ in range(self.num_layers):
+            current = matrix @ current
+            layers.append(current)
+        return np.mean(layers, axis=0)
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tensor:
+        users, positives, _ = batch
+        users = np.asarray(users, dtype=np.int64)
+        item_nodes = np.asarray(positives, dtype=np.int64) + self.num_users
+
+        online = self._encode(self.online_embeddings)
+        target = self._encode_target()
+
+        online_users = online.gather_rows(users)
+        online_items = online.gather_rows(item_nodes)
+        target_users = Tensor(target[users])
+        target_items = Tensor(target[item_nodes])
+
+        predicted_users = online_users.matmul(self.predictor_weight) + self.predictor_bias
+        predicted_items = online_items.matmul(self.predictor_weight) + self.predictor_bias
+
+        # Symmetric BYOL-style loss: 2 - 2 * cos(pred, target).
+        loss_user_to_item = (
+            2.0 - 2.0 * (l2_normalize(predicted_users) * l2_normalize(target_items)).sum(axis=1)
+        ).mean()
+        loss_item_to_user = (
+            2.0 - 2.0 * (l2_normalize(predicted_items) * l2_normalize(target_users)).sum(axis=1)
+        ).mean()
+        return loss_user_to_item + loss_item_to_user
+
+    def after_step(self) -> None:
+        """Momentum (EMA) update of the target embedding table."""
+        self._target_embeddings = (
+            self.momentum * self._target_embeddings
+            + (1.0 - self.momentum) * self.online_embeddings.data
+        )
+
+    # ------------------------------------------------------------------ #
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        with no_grad():
+            online = self._encode(self.online_embeddings).data
+        target = self._encode_target()
+        # Prediction combines both views, as in the original implementation.
+        combined = online + target
+        user_matrix = combined[: self.num_users]
+        item_matrix = combined[self.num_users:]
+        return user_matrix[users] @ item_matrix.T

@@ -1,0 +1,84 @@
+"""EHCF (Chen et al., AAAI 2020): efficient heterogeneous CF without negative sampling.
+
+The defining trait of EHCF is whole-data learning: instead of sampling
+negatives, every unobserved (user, item) entry is treated as a weak negative
+with a small confidence weight.  This implementation keeps that non-sampling
+objective (a confidence-weighted squared loss over the user's full item row)
+with a transfer-style prediction layer on top of the embeddings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, init, no_grad
+from ..data import DataSplit, UserBatchIterator
+from ..training.losses import l2_regularization
+from .base import Recommender
+
+__all__ = ["EHCF"]
+
+
+class EHCF(Recommender):
+    """Efficient whole-data collaborative filtering without negative sampling.
+
+    Parameters
+    ----------
+    negative_weight:
+        Confidence weight ``c0`` assigned to unobserved entries (observed
+        entries have weight 1).
+    """
+
+    name = "ehcf"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, l2_reg: float = 1e-4,
+                 negative_weight: float = 0.05, batch_size: int = 256, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
+        if not 0.0 < negative_weight <= 1.0:
+            raise ValueError("negative_weight must lie in (0, 1]")
+        self.l2_reg = float(l2_reg)
+        self.negative_weight = float(negative_weight)
+
+        self.user_factors = Parameter(
+            init.xavier_uniform((self.num_users, embedding_dim), rng=self.rng), name="user_factors")
+        self.item_factors = Parameter(
+            init.xavier_uniform((self.num_items, embedding_dim), rng=self.rng), name="item_factors")
+        # Per-dimension prediction weights (the "transfer" layer of EHCF).
+        self.prediction_weights = Parameter(np.ones(embedding_dim) / np.sqrt(embedding_dim),
+                                            name="prediction_weights")
+
+        self._batcher = UserBatchIterator(split, batch_size=self.batch_size, rng=self.rng)
+
+    # ------------------------------------------------------------------ #
+    def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
+        return iter(self._batcher)
+
+    def _predict_rows(self, users: np.ndarray) -> Tensor:
+        """Scores of every item for the given users (dense, differentiable)."""
+        user_embed = self.user_factors.gather_rows(users)
+        weighted = user_embed * self.prediction_weights
+        return weighted.matmul(self.item_factors.transpose())
+
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray]) -> Tensor:
+        users, rows = batch
+        users = np.asarray(users, dtype=np.int64)
+        predictions = self._predict_rows(users)
+
+        weights = np.where(rows > 0, 1.0, self.negative_weight)
+        difference = predictions - Tensor(rows)
+        loss = (Tensor(weights) * difference * difference).sum(axis=1).mean()
+
+        if self.l2_reg > 0:
+            user_embed = self.user_factors.gather_rows(users)
+            loss = loss + l2_regularization(user_embed, self.item_factors,
+                                            coefficient=self.l2_reg, normalize_by=users.size)
+        return loss
+
+    # ------------------------------------------------------------------ #
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        with no_grad():
+            scores = self._predict_rows(users)
+        return scores.data

@@ -1,0 +1,145 @@
+"""Shared machinery for the graph-convolutional recommenders.
+
+LightGCN, LR-GCCF, NGCF, IMP-GCN and LayerGCN all share the same skeleton:
+
+* a single embedding table over the ``N = N_U + N_I`` nodes (the ego layer
+  :math:`X^0`),
+* linear propagation over a normalised bipartite adjacency,
+* a READOUT over layer embeddings,
+* a BPR + L2 objective over sampled (user, positive, negative) triples,
+* full-ranking scoring as the dot product of final user and item embeddings.
+
+:class:`GraphRecommender` implements everything except the propagation rule,
+which each subclass expresses in :meth:`propagate`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Parameter, SparseTensor, Tensor, init, no_grad
+from ..data import DataSplit
+from ..graph import BipartiteGraph, normalized_adjacency
+from ..training.losses import bpr_loss, l2_regularization
+from .base import Recommender
+
+__all__ = ["GraphRecommender"]
+
+
+class GraphRecommender(Recommender):
+    """Base class for models that propagate an embedding table over the graph.
+
+    Parameters
+    ----------
+    split:
+        Data split; the training interactions define the propagation graph.
+    embedding_dim:
+        Latent dimension ``T`` (64 in the paper).
+    num_layers:
+        Number of propagation layers ``L``.
+    l2_reg:
+        Coefficient λ of the L2 penalty on the ego embeddings involved in a
+        batch (Eq. 12).
+    self_loops:
+        Whether the propagation matrix uses the re-normalisation trick
+        (vanilla GCN) or the plain symmetric normalisation (LightGCN-style).
+    """
+
+    name = "graph-recommender"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 3,
+                 l2_reg: float = 1e-4, batch_size: int = 1024, seed: int = 0,
+                 self_loops: bool = False) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
+        if num_layers < 0:
+            raise ValueError("num_layers must be non-negative")
+        self.num_layers = int(num_layers)
+        self.l2_reg = float(l2_reg)
+        self.self_loops = bool(self_loops)
+
+        self.graph: BipartiteGraph = split.train_graph()
+        self.adjacency = SparseTensor(normalized_adjacency(self.graph, self_loops=self_loops))
+
+        num_nodes = self.num_users + self.num_items
+        self.embeddings = Parameter(
+            init.xavier_uniform((num_nodes, self.embedding_dim), rng=self.rng),
+            name="embeddings",
+        )
+        self._cached_final: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def propagation_operator(self) -> SparseTensor:
+        """Propagation matrix used for the current forward pass.
+
+        Subclasses with edge dropout override this to return the pruned
+        matrix during training and the full matrix at inference.
+        """
+        return self.adjacency
+
+    def propagate(self) -> Tensor:
+        """Return the final node embeddings ``X`` (shape ``(N, T)``)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Training
+    # ------------------------------------------------------------------ #
+    def begin_epoch(self, epoch: int) -> None:
+        self._cached_final = None
+
+    def _item_nodes(self, items: np.ndarray) -> np.ndarray:
+        """Map item indices into the global node id space."""
+        return np.asarray(items, dtype=np.int64) + self.num_users
+
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tensor:
+        users, positives, negatives = batch
+        self._cached_final = None
+        final = self.propagate()
+
+        user_embed = final.gather_rows(np.asarray(users, dtype=np.int64))
+        positive_embed = final.gather_rows(self._item_nodes(positives))
+        negative_embed = final.gather_rows(self._item_nodes(negatives))
+
+        positive_scores = (user_embed * positive_embed).sum(axis=1)
+        negative_scores = (user_embed * negative_embed).sum(axis=1)
+        loss = bpr_loss(positive_scores, negative_scores)
+
+        if self.l2_reg > 0:
+            ego_users = self.embeddings.gather_rows(np.asarray(users, dtype=np.int64))
+            ego_positives = self.embeddings.gather_rows(self._item_nodes(positives))
+            ego_negatives = self.embeddings.gather_rows(self._item_nodes(negatives))
+            loss = loss + l2_regularization(
+                ego_users, ego_positives, ego_negatives,
+                coefficient=self.l2_reg, normalize_by=len(users),
+            )
+        return loss
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def final_embeddings(self) -> np.ndarray:
+        """Final node embeddings as a plain array (cached while in eval mode)."""
+        if self.training or self._cached_final is None:
+            with no_grad():
+                final = self.propagate()
+            if self.training:
+                return final.data
+            self._cached_final = final.data
+        return self._cached_final
+
+    def user_item_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Split the final node embeddings into (user, item) matrices."""
+        final = self.final_embeddings()
+        return final[: self.num_users], final[self.num_users:]
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        user_matrix, item_matrix = self.user_item_embeddings()
+        users = np.asarray(users, dtype=np.int64)
+        return user_matrix[users] @ item_matrix.T
+
+    def train(self, mode: bool = True) -> "GraphRecommender":
+        self._cached_final = None
+        return super().train(mode)

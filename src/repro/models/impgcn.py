@@ -1,0 +1,117 @@
+"""IMP-GCN (Liu et al., WWW 2021): interest-aware message passing GCN.
+
+IMP-GCN splits users into interest subgroups and restricts high-order graph
+convolutions to the subgraph induced by each group (items stay shared), which
+limits over-smoothing by keeping the messages of users with different
+interests apart.
+
+This implementation follows the published architecture in spirit:
+
+* the first-order propagation uses the full graph (as in the original);
+* users are assigned to ``num_groups`` interest groups by clustering their
+  first-order representations (re-computed every epoch, which plays the role
+  of the original's learned grouping MLP without adding parameters);
+* layers 2..L propagate over the per-group subgraphs, and the outputs of all
+  layers are summed into the final representation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import SparseTensor, Tensor, no_grad, sparse_matmul
+from ..data import DataSplit
+from ..graph import propagation_matrix
+from .graph_base import GraphRecommender
+
+__all__ = ["IMPGCN"]
+
+
+class IMPGCN(GraphRecommender):
+    """Interest-aware message-passing GCN with user subgroup propagation."""
+
+    name = "imp-gcn"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 3,
+                 num_groups: int = 3, l2_reg: float = 1e-4,
+                 batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, batch_size=batch_size, seed=seed, self_loops=False)
+        if num_groups < 1:
+            raise ValueError("num_groups must be positive")
+        self.num_groups = int(num_groups)
+        self._group_operators: Optional[List[SparseTensor]] = None
+
+    # ------------------------------------------------------------------ #
+    # Interest grouping
+    # ------------------------------------------------------------------ #
+    def _assign_groups(self) -> np.ndarray:
+        """Cluster users into interest groups on their first-order embeddings."""
+        with no_grad():
+            first_order = sparse_matmul(self.adjacency, self.embeddings).data
+        user_repr = first_order[: self.num_users]
+        if self.num_groups == 1 or self.num_users <= self.num_groups:
+            return np.zeros(self.num_users, dtype=np.int64)
+
+        # Lightweight k-means (a handful of Lloyd iterations is enough because
+        # the grouping is refreshed every epoch anyway).
+        rng = self.rng
+        centroid_idx = rng.choice(self.num_users, size=self.num_groups, replace=False)
+        centroids = user_repr[centroid_idx].copy()
+        assignment = np.zeros(self.num_users, dtype=np.int64)
+        for _ in range(5):
+            distances = ((user_repr[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+            assignment = distances.argmin(axis=1)
+            for group in range(self.num_groups):
+                members = user_repr[assignment == group]
+                if len(members):
+                    centroids[group] = members.mean(axis=0)
+        return assignment
+
+    def _build_group_operators(self) -> List[SparseTensor]:
+        """Propagation matrices of the per-group subgraphs (items shared)."""
+        assignment = self._assign_groups()
+        operators: List[SparseTensor] = []
+        edge_groups = assignment[self.graph.user_indices]
+        for group in range(self.num_groups):
+            mask = edge_groups == group
+            matrix = propagation_matrix(
+                self.graph,
+                user_indices=self.graph.user_indices[mask],
+                item_indices=self.graph.item_indices[mask],
+                self_loops=False,
+            )
+            operators.append(SparseTensor(matrix))
+        return operators
+
+    def begin_epoch(self, epoch: int) -> None:
+        super().begin_epoch(epoch)
+        self._group_operators = self._build_group_operators()
+
+    # ------------------------------------------------------------------ #
+    # Propagation
+    # ------------------------------------------------------------------ #
+    def propagate(self) -> Tensor:
+        if self._group_operators is None:
+            self._group_operators = self._build_group_operators()
+
+        # Layer 1: shared full-graph propagation.
+        first = sparse_matmul(self.adjacency, self.embeddings)
+        total = self.embeddings + first
+
+        # Layers 2..L: propagate within each interest subgraph and sum the
+        # group outputs (each node receives messages only through its group's
+        # edges, so the sum never double counts).
+        previous_per_group = [sparse_matmul(op, self.embeddings) for op in self._group_operators]
+        for _ in range(1, self.num_layers):
+            current_per_group = [
+                sparse_matmul(op, prev) for op, prev in zip(self._group_operators, previous_per_group)
+            ]
+            layer_sum: Optional[Tensor] = None
+            for current in current_per_group:
+                layer_sum = current if layer_sum is None else layer_sum + current
+            total = total + layer_sum
+            previous_per_group = current_per_group
+        return total * (1.0 / (self.num_layers + 1))

@@ -1,0 +1,85 @@
+"""LightGCN (He et al., SIGIR 2020) and its learnable-layer-weight variant.
+
+LightGCN propagates the embedding table with the symmetric normalised
+adjacency (Eq. 2) and averages the ego layer with all hidden layers for the
+final representation (the mean READOUT of Eq. 3).
+
+:class:`WeightedLightGCN` replaces the fixed mean with learnable softmax
+weights over layers — the variant used in Fig. 1 of the paper to demonstrate
+that the weight space collapses onto the ego layer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, init, sparse_matmul
+from ..autograd.functional import softmax, stack
+from ..data import DataSplit
+from .graph_base import GraphRecommender
+
+__all__ = ["LightGCN", "WeightedLightGCN"]
+
+
+class LightGCN(GraphRecommender):
+    """LightGCN with mean readout over the ego and hidden layers."""
+
+    name = "lightgcn"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 3,
+                 l2_reg: float = 1e-4, batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, batch_size=batch_size, seed=seed, self_loops=False)
+
+    def layer_embeddings(self) -> List[Tensor]:
+        """Ego layer plus all ``num_layers`` propagated layers."""
+        operator = self.propagation_operator()
+        layers = [self.embeddings]
+        current: Tensor = self.embeddings
+        for _ in range(self.num_layers):
+            current = sparse_matmul(operator, current)
+            layers.append(current)
+        return layers
+
+    def propagate(self) -> Tensor:
+        layers = self.layer_embeddings()
+        total = layers[0]
+        for layer in layers[1:]:
+            total = total + layer
+        return total * (1.0 / len(layers))
+
+
+class WeightedLightGCN(LightGCN):
+    """LightGCN with learnable softmax weights over layer embeddings (Fig. 1).
+
+    The readout becomes ``X = Σ_l w_l X^l`` with ``w = softmax(θ)`` learned
+    jointly with the embeddings.  The paper shows the ego-layer weight ``w_0``
+    grows to dominate the others during training, which motivates LayerGCN's
+    dropping of the ego layer.
+    """
+
+    name = "lightgcn-learnable"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 4,
+                 l2_reg: float = 1e-4, batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, batch_size=batch_size, seed=seed)
+        self.layer_logits = Parameter(np.zeros(num_layers + 1), name="layer_logits")
+
+    def propagate(self) -> Tensor:
+        layers = self.layer_embeddings()
+        weights = softmax(self.layer_logits.reshape(1, -1), axis=1).reshape(-1)
+        total: Optional[Tensor] = None
+        for index, layer in enumerate(layers):
+            contribution = layer * weights[index]
+            total = contribution if total is None else total + contribution
+        return total
+
+    def layer_weight_values(self) -> np.ndarray:
+        """Current softmax layer weights (ego layer first) — recorded for Fig. 1."""
+        logits = self.layer_logits.data
+        shifted = logits - logits.max()
+        exp = np.exp(shifted)
+        return exp / exp.sum()

@@ -1,0 +1,50 @@
+"""LR-GCCF (Chen et al., AAAI 2020): linear residual graph CF.
+
+LR-GCCF removes the non-linearities from NGCF and adds a residual preference
+learning scheme: every propagation layer keeps the previous layer through the
+re-normalised adjacency with self-loops, and the final representation is the
+*concatenation* of all layer embeddings, so the prediction is the sum of the
+per-layer inner products.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..autograd import Tensor, sparse_matmul
+from ..autograd.functional import concat
+from ..data import DataSplit
+from .graph_base import GraphRecommender
+
+__all__ = ["LRGCCF"]
+
+
+class LRGCCF(GraphRecommender):
+    """Linear residual graph convolutional collaborative filtering."""
+
+    name = "lr-gccf"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 3,
+                 l2_reg: float = 1e-4, batch_size: int = 1024, seed: int = 0) -> None:
+        # Self-loops implement the residual connection (A + I normalisation,
+        # Eq. 22-23 of the paper's analysis section).
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, batch_size=batch_size, seed=seed, self_loops=True)
+
+    def layer_embeddings(self) -> List[Tensor]:
+        operator = self.propagation_operator()
+        layers = [self.embeddings]
+        current: Tensor = self.embeddings
+        for _ in range(self.num_layers):
+            current = sparse_matmul(operator, current)
+            layers.append(current)
+        return layers
+
+    def propagate(self) -> Tensor:
+        """Concatenate the ego and hidden layers along the feature dimension.
+
+        The concatenation means the score ``x_u · x_i`` decomposes into the
+        sum of per-layer inner products — the residual preference learning of
+        LR-GCCF.
+        """
+        return concat(self.layer_embeddings(), axis=1)

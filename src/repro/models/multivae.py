@@ -1,0 +1,114 @@
+"""Mult-VAE (Liang et al., WWW 2018): variational autoencoder for CF.
+
+Each user's binary interaction row is encoded into a Gaussian latent variable
+and decoded into a multinomial distribution over items; training maximises the
+ELBO (multinomial log-likelihood minus an annealed KL term).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, init, no_grad
+from ..autograd.functional import dropout, log_softmax
+from ..data import DataSplit, UserBatchIterator
+from .base import Recommender
+
+__all__ = ["MultiVAE"]
+
+
+class MultiVAE(Recommender):
+    """Variational autoencoder with a multinomial likelihood over items.
+
+    Parameters
+    ----------
+    hidden_dim:
+        Width of the encoder/decoder hidden layer.
+    latent_dim:
+        Dimensionality of the Gaussian latent variable.
+    anneal_cap / anneal_steps:
+        The KL annealing schedule β_t = min(anneal_cap, t / anneal_steps).
+    input_dropout:
+        Dropout applied to the (normalised) input interaction rows.
+    """
+
+    name = "multivae"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, hidden_dim: int = 128,
+                 latent_dim: Optional[int] = None, anneal_cap: float = 0.2,
+                 anneal_steps: int = 2000, input_dropout: float = 0.5,
+                 batch_size: int = 128, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
+        self.hidden_dim = int(hidden_dim)
+        self.latent_dim = int(latent_dim or embedding_dim)
+        self.anneal_cap = float(anneal_cap)
+        self.anneal_steps = int(anneal_steps)
+        self.input_dropout = float(input_dropout)
+        self._train_steps = 0
+
+        num_items = self.num_items
+        rng = self.rng
+        # Encoder: items -> hidden -> (mu, logvar)
+        self.enc_w1 = Parameter(init.xavier_uniform((num_items, hidden_dim), rng=rng), name="enc_w1")
+        self.enc_b1 = Parameter(np.zeros(hidden_dim), name="enc_b1")
+        self.enc_w_mu = Parameter(init.xavier_uniform((hidden_dim, self.latent_dim), rng=rng), name="enc_w_mu")
+        self.enc_b_mu = Parameter(np.zeros(self.latent_dim), name="enc_b_mu")
+        self.enc_w_logvar = Parameter(init.xavier_uniform((hidden_dim, self.latent_dim), rng=rng), name="enc_w_logvar")
+        self.enc_b_logvar = Parameter(np.zeros(self.latent_dim), name="enc_b_logvar")
+        # Decoder: latent -> hidden -> items
+        self.dec_w1 = Parameter(init.xavier_uniform((self.latent_dim, hidden_dim), rng=rng), name="dec_w1")
+        self.dec_b1 = Parameter(np.zeros(hidden_dim), name="dec_b1")
+        self.dec_w2 = Parameter(init.xavier_uniform((hidden_dim, num_items), rng=rng), name="dec_w2")
+        self.dec_b2 = Parameter(np.zeros(num_items), name="dec_b2")
+
+        self._batcher = UserBatchIterator(split, batch_size=self.batch_size, rng=self.rng)
+
+    # ------------------------------------------------------------------ #
+    def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
+        return iter(self._batcher)
+
+    @staticmethod
+    def _normalize_rows(rows: np.ndarray) -> np.ndarray:
+        norms = np.linalg.norm(rows, axis=1, keepdims=True)
+        return rows / np.maximum(norms, 1e-12)
+
+    def _encode(self, rows: Tensor) -> Tuple[Tensor, Tensor]:
+        hidden = (rows.matmul(self.enc_w1) + self.enc_b1).tanh()
+        mu = hidden.matmul(self.enc_w_mu) + self.enc_b_mu
+        logvar = hidden.matmul(self.enc_w_logvar) + self.enc_b_logvar
+        return mu, logvar
+
+    def _decode(self, latent: Tensor) -> Tensor:
+        hidden = (latent.matmul(self.dec_w1) + self.dec_b1).tanh()
+        return hidden.matmul(self.dec_w2) + self.dec_b2
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray]) -> Tensor:
+        _, rows = batch
+        self._train_steps += 1
+        anneal = min(self.anneal_cap, self._train_steps / max(self.anneal_steps, 1))
+
+        inputs = Tensor(self._normalize_rows(rows))
+        inputs = dropout(inputs, self.input_dropout, rng=self.rng, training=self.training)
+
+        mu, logvar = self._encode(inputs)
+        noise = Tensor(self.rng.normal(size=mu.shape))
+        latent = mu + (logvar * 0.5).exp() * noise
+        logits = self._decode(latent)
+
+        log_probs = log_softmax(logits, axis=1)
+        reconstruction = -(Tensor(rows) * log_probs).sum(axis=1).mean()
+        kl = (-0.5 * (1.0 + logvar - mu * mu - logvar.exp()).sum(axis=1)).mean()
+        return reconstruction + kl * anneal
+
+    # ------------------------------------------------------------------ #
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        rows = np.stack([self._batcher.interaction_row(int(user)) for user in users])
+        with no_grad():
+            inputs = Tensor(self._normalize_rows(rows))
+            mu, _ = self._encode(inputs)
+            logits = self._decode(mu)
+        return logits.data

@@ -1,0 +1,69 @@
+"""NGCF (Wang et al., SIGIR 2019): neural graph collaborative filtering.
+
+NGCF keeps the feature-transformation matrices and non-linearities that
+LightGCN later removes.  Each propagation layer computes
+
+.. math::
+
+    X^{(l+1)} = \\mathrm{LeakyReLU}\\bigl(\\hat{A} X^{(l)} W_1^{(l)}
+                + (\\hat{A} X^{(l)} \\odot X^{(l)}) W_2^{(l)}\\bigr)
+
+and the final representation concatenates all layers (including the ego
+layer), following the original paper.  Message dropout is applied to every
+layer output during training.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..autograd import Parameter, Tensor, init, sparse_matmul
+from ..autograd.functional import concat, dropout
+from ..data import DataSplit
+from .graph_base import GraphRecommender
+
+__all__ = ["NGCF"]
+
+
+class NGCF(GraphRecommender):
+    """Neural Graph Collaborative Filtering with transformation weights."""
+
+    name = "ngcf"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, num_layers: int = 3,
+                 l2_reg: float = 1e-4, message_dropout: float = 0.1,
+                 batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, num_layers=num_layers,
+                         l2_reg=l2_reg, batch_size=batch_size, seed=seed, self_loops=True)
+        if not 0.0 <= message_dropout < 1.0:
+            raise ValueError("message_dropout must lie in [0, 1)")
+        self.message_dropout = float(message_dropout)
+        # Per-layer transformation matrices W1 (graph messages) and W2
+        # (element-wise interaction messages).
+        self.w_graph: List[Parameter] = []
+        self.w_interaction: List[Parameter] = []
+        for layer in range(num_layers):
+            w1 = Parameter(init.xavier_uniform((embedding_dim, embedding_dim), rng=self.rng),
+                           name=f"w_graph_{layer}")
+            w2 = Parameter(init.xavier_uniform((embedding_dim, embedding_dim), rng=self.rng),
+                           name=f"w_interaction_{layer}")
+            # Register explicitly because list attributes bypass Module.__setattr__.
+            self._parameters[f"w_graph_{layer}"] = w1
+            self._parameters[f"w_interaction_{layer}"] = w2
+            self.w_graph.append(w1)
+            self.w_interaction.append(w2)
+
+    def propagate(self) -> Tensor:
+        operator = self.propagation_operator()
+        layers: List[Tensor] = [self.embeddings]
+        current: Tensor = self.embeddings
+        for layer in range(self.num_layers):
+            propagated = sparse_matmul(operator, current)
+            graph_message = propagated.matmul(self.w_graph[layer])
+            interaction_message = (propagated * current).matmul(self.w_interaction[layer])
+            current = (graph_message + interaction_message).leaky_relu(0.2)
+            current = dropout(current, self.message_dropout, rng=self.rng, training=self.training)
+            layers.append(current)
+        return concat(layers, axis=1)

@@ -1,0 +1,84 @@
+"""Model registry used by experiments, examples and benchmarks.
+
+Every model in Table II is registered under the (lower-case) name the paper
+uses for it, so the benchmark harness can instantiate them uniformly:
+
+>>> from repro.models import build_model
+>>> model = build_model("lightgcn", split, embedding_dim=64, num_layers=3)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Type
+
+from ..data import DataSplit
+from .base import Recommender
+from .bpr_mf import BprMF
+from .buir import BUIR
+from .ehcf import EHCF
+from .impgcn import IMPGCN
+from .lightgcn import LightGCN, WeightedLightGCN
+from .lrgccf import LRGCCF
+from .multivae import MultiVAE
+from .ngcf import NGCF
+from .ultragcn import UltraGCN
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models", "register_model"]
+
+
+MODEL_REGISTRY: Dict[str, Type[Recommender]] = {
+    "bpr": BprMF,
+    "multivae": MultiVAE,
+    "ehcf": EHCF,
+    "buir": BUIR,
+    "ngcf": NGCF,
+    "lr-gccf": LRGCCF,
+    "lightgcn": LightGCN,
+    "lightgcn-learnable": WeightedLightGCN,
+    "ultragcn": UltraGCN,
+    "imp-gcn": IMPGCN,
+}
+
+
+def _ensure_core_models() -> None:
+    """Register the core LayerGCN model lazily to avoid a circular import.
+
+    ``repro.core.layergcn`` subclasses :class:`GraphRecommender` from this
+    package, so the registry cannot import it at module load time.
+    """
+    if "layergcn" in MODEL_REGISTRY:
+        return
+    from ..core.content import ContentLayerGCN
+    from ..core.layergcn import LayerGCN
+    from .selfcf import SelfSupervisedLayerGCN
+
+    MODEL_REGISTRY["layergcn"] = LayerGCN
+    MODEL_REGISTRY["content-layergcn"] = ContentLayerGCN
+    MODEL_REGISTRY["ssl-layergcn"] = SelfSupervisedLayerGCN
+
+
+def register_model(name: str, factory: Type[Recommender], overwrite: bool = False) -> None:
+    """Register a custom recommender class under ``name``."""
+    key = name.lower()
+    if key in MODEL_REGISTRY and not overwrite:
+        raise KeyError(f"model '{name}' is already registered")
+    MODEL_REGISTRY[key] = factory
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+    _ensure_core_models()
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, split: DataSplit, **kwargs) -> Recommender:
+    """Instantiate a registered model bound to ``split``.
+
+    Keyword arguments are passed straight to the model constructor; unknown
+    model names raise ``KeyError`` listing the available options.
+    """
+    _ensure_core_models()
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model '{name}'; options: {available_models()}")
+    return MODEL_REGISTRY[key](split, **kwargs)

@@ -1,0 +1,95 @@
+"""Self-supervised LayerGCN (the direction named in the paper's future work).
+
+The conclusion of the paper states: "In our future work, we would like to
+study how self-supervised signals can augment the representation learning of
+LayerGCN."  This module implements that extension in the style of SelfCF /
+contrastive graph CF: alongside the BPR objective, two stochastically
+perturbed views of the propagated embeddings are pulled together with an
+InfoNCE-style contrastive loss, computed only for the nodes in the current
+batch so the extra cost stays proportional to the batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.functional import l2_normalize
+from ..core.layergcn import LayerGCN
+from ..data import DataSplit
+
+__all__ = ["SelfSupervisedLayerGCN"]
+
+
+class SelfSupervisedLayerGCN(LayerGCN):
+    """LayerGCN augmented with a contrastive self-supervised objective.
+
+    Parameters
+    ----------
+    ssl_weight:
+        Weight of the contrastive term added to the BPR + L2 loss.
+    ssl_temperature:
+        Softmax temperature of the InfoNCE loss.
+    perturbation_scale:
+        Standard deviation of the random noise used to build the two views
+        (embedding-level augmentation; no extra graph is materialised).
+    """
+
+    name = "ssl-layergcn"
+
+    def __init__(self, split: DataSplit, ssl_weight: float = 0.1,
+                 ssl_temperature: float = 0.2, perturbation_scale: float = 0.1,
+                 **kwargs) -> None:
+        super().__init__(split, **kwargs)
+        if ssl_weight < 0:
+            raise ValueError("ssl_weight must be non-negative")
+        if ssl_temperature <= 0:
+            raise ValueError("ssl_temperature must be positive")
+        self.ssl_weight = float(ssl_weight)
+        self.ssl_temperature = float(ssl_temperature)
+        self.perturbation_scale = float(perturbation_scale)
+
+    # ------------------------------------------------------------------ #
+    def _perturbed_view(self, embeddings: Tensor) -> Tensor:
+        """Add scaled random noise in the direction of the embedding sign.
+
+        This mirrors the "random noise on the embedding" augmentation used by
+        SimGCL-style models: the perturbation has a fixed norm and a random
+        direction correlated with the embedding's sign.
+        """
+        noise = self.rng.normal(size=embeddings.shape)
+        noise = np.sign(embeddings.data) * np.abs(noise)
+        norms = np.linalg.norm(noise, axis=1, keepdims=True)
+        noise = noise / np.maximum(norms, 1e-12) * self.perturbation_scale
+        return embeddings + Tensor(noise)
+
+    def _info_nce(self, view_a: Tensor, view_b: Tensor) -> Tensor:
+        """InfoNCE loss between two aligned views of the same nodes."""
+        a = l2_normalize(view_a, axis=1)
+        b = l2_normalize(view_b, axis=1)
+        logits = a.matmul(b.transpose()) * (1.0 / self.ssl_temperature)
+        # Cross-entropy against the diagonal (each node's positive is itself).
+        batch = logits.shape[0]
+        log_denominator = logits.exp().sum(axis=1).log()
+        positives = (a * b).sum(axis=1) * (1.0 / self.ssl_temperature)
+        return (log_denominator - positives).sum() * (1.0 / batch)
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tensor:
+        loss = super().train_step(batch)
+        if self.ssl_weight == 0:
+            return loss
+
+        users, positives, _ = batch
+        nodes = np.unique(np.concatenate([
+            np.asarray(users, dtype=np.int64),
+            self._item_nodes(positives),
+        ]))
+        final = self.propagate()
+        anchor = final.gather_rows(nodes)
+        view_a = self._perturbed_view(anchor)
+        view_b = self._perturbed_view(anchor)
+        contrastive = self._info_nce(view_a, view_b)
+        return loss + contrastive * self.ssl_weight

@@ -1,0 +1,153 @@
+"""UltraGCN (Mao et al., CIKM 2021), simplified.
+
+UltraGCN skips explicit message passing and instead approximates the limit of
+infinitely many graph-convolution layers with weighted constraint losses on
+user-item pairs.  The per-pair constraint weight is
+
+.. math::
+
+    \\beta_{u,i} = \\frac{1}{d_u}\\sqrt{\\frac{d_u + 1}{d_i + 1}}
+
+and the objective combines a weighted log-sigmoid loss over observed pairs,
+a sampled-negative term, and an item-item co-occurrence constraint built from
+the top neighbours of each item.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autograd import Parameter, Tensor, init
+from ..autograd.functional import logsigmoid
+from ..data import DataSplit
+from ..training.losses import l2_regularization
+from .base import Recommender
+
+__all__ = ["UltraGCN"]
+
+
+class UltraGCN(Recommender):
+    """UltraGCN with user-item constraint weights and an item-item graph.
+
+    Parameters
+    ----------
+    num_negatives:
+        Negatives sampled per positive pair (UltraGCN uses many more than
+        BPR-style models; the default keeps training fast at this scale).
+    negative_weight:
+        Weight of the sampled-negative term in the loss.
+    item_graph_neighbors:
+        Number of top co-occurring items kept per item for the item-item
+        constraint (the ``I-I`` graph of the original paper).
+    item_graph_weight:
+        Weight of the item-item constraint loss term.
+    gamma:
+        Weight applied to the β-weighted positive term (λ in the original).
+    """
+
+    name = "ultragcn"
+
+    def __init__(self, split: DataSplit, embedding_dim: int = 64, l2_reg: float = 1e-4,
+                 num_negatives: int = 8, negative_weight: float = 1.0,
+                 item_graph_neighbors: int = 10, item_graph_weight: float = 0.5,
+                 gamma: float = 1.0, batch_size: int = 1024, seed: int = 0) -> None:
+        super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
+        self.l2_reg = float(l2_reg)
+        self.num_negatives = int(num_negatives)
+        self.negative_weight = float(negative_weight)
+        self.item_graph_weight = float(item_graph_weight)
+        self.gamma = float(gamma)
+
+        self.user_factors = Parameter(
+            init.xavier_uniform((self.num_users, embedding_dim), rng=self.rng), name="user_factors")
+        self.item_factors = Parameter(
+            init.xavier_uniform((self.num_items, embedding_dim), rng=self.rng), name="item_factors")
+
+        graph = split.train_graph()
+        user_degrees = graph.user_degrees()
+        item_degrees = graph.item_degrees()
+        # β_{u,i} constraint weights (Eq. above); degrees floored at 1 to keep
+        # isolated nodes finite.
+        self._beta_user = 1.0 / np.maximum(user_degrees, 1.0) * np.sqrt(user_degrees + 1.0)
+        self._beta_item = 1.0 / np.sqrt(item_degrees + 1.0)
+
+        self._item_neighbors, self._item_neighbor_weights = self._build_item_graph(
+            graph.interaction_matrix(), item_graph_neighbors)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _build_item_graph(interactions: sp.csr_matrix,
+                          num_neighbors: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Top co-occurring neighbours per item from the item-item matrix R^T R."""
+        co_occurrence = (interactions.T @ interactions).tocsr()
+        co_occurrence.setdiag(0)
+        co_occurrence.eliminate_zeros()
+        num_items = co_occurrence.shape[0]
+        neighbors = np.zeros((num_items, num_neighbors), dtype=np.int64)
+        weights = np.zeros((num_items, num_neighbors), dtype=np.float64)
+        for item in range(num_items):
+            start, stop = co_occurrence.indptr[item], co_occurrence.indptr[item + 1]
+            columns = co_occurrence.indices[start:stop]
+            values = co_occurrence.data[start:stop]
+            if columns.size == 0:
+                neighbors[item] = item
+                continue
+            order = np.argsort(-values)[:num_neighbors]
+            chosen = columns[order]
+            chosen_weights = values[order]
+            neighbors[item, :chosen.size] = chosen
+            weights[item, :chosen.size] = chosen_weights / max(chosen_weights.max(), 1e-12)
+            if chosen.size < num_neighbors:
+                neighbors[item, chosen.size:] = item
+        return neighbors, weights
+
+    # ------------------------------------------------------------------ #
+    def train_step(self, batch: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tensor:
+        users, positives, _ = batch
+        users = np.asarray(users, dtype=np.int64)
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = self._sample_negatives(users)
+
+        user_embed = self.user_factors.gather_rows(users)
+        positive_embed = self.item_factors.gather_rows(positives)
+
+        positive_scores = (user_embed * positive_embed).sum(axis=1)
+        beta = self._beta_user[users] * self._beta_item[positives]
+        positive_weights = Tensor(1.0 + self.gamma * beta)
+        positive_loss = -(positive_weights * logsigmoid(positive_scores)).mean()
+
+        # Sampled negatives: push scores of unobserved items down.
+        negative_embed = self.item_factors.gather_rows(negatives.reshape(-1))
+        negative_scores = (
+            user_embed.gather_rows(np.repeat(np.arange(users.size), self.num_negatives))
+            * negative_embed
+        ).sum(axis=1)
+        negative_loss = -logsigmoid(-negative_scores).mean() * self.negative_weight
+
+        # Item-item constraint: positive items should score close to their
+        # co-occurrence neighbours for the same user.
+        neighbor_items = self._item_neighbors[positives]          # (B, K)
+        neighbor_weights = self._item_neighbor_weights[positives]  # (B, K)
+        neighbor_embed = self.item_factors.gather_rows(neighbor_items.reshape(-1))
+        repeated_users = user_embed.gather_rows(
+            np.repeat(np.arange(users.size), neighbor_items.shape[1]))
+        neighbor_scores = (repeated_users * neighbor_embed).sum(axis=1)
+        item_loss = -(Tensor(neighbor_weights.reshape(-1)) * logsigmoid(neighbor_scores)).mean()
+        item_loss = item_loss * self.item_graph_weight
+
+        loss = positive_loss + negative_loss + item_loss
+        if self.l2_reg > 0:
+            loss = loss + l2_regularization(user_embed, positive_embed,
+                                            coefficient=self.l2_reg, normalize_by=users.size)
+        return loss
+
+    def _sample_negatives(self, users: np.ndarray) -> np.ndarray:
+        return self.rng.integers(self.num_items, size=(users.size, self.num_negatives))
+
+    # ------------------------------------------------------------------ #
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        return self.user_factors.data[users] @ self.item_factors.data.T

@@ -1,0 +1,19 @@
+"""Training: losses, trainer with early stopping, and recording callbacks."""
+
+from .losses import bce_loss, bpr_loss, l2_regularization, multinomial_nll, weighted_mse_loss
+from .trainer import Trainer, TrainerConfig, TrainingHistory
+from .callbacks import LayerSimilarityRecorder, LayerWeightRecorder, LossRecorder
+
+__all__ = [
+    "bce_loss",
+    "bpr_loss",
+    "l2_regularization",
+    "multinomial_nll",
+    "weighted_mse_loss",
+    "Trainer",
+    "TrainerConfig",
+    "TrainingHistory",
+    "LayerSimilarityRecorder",
+    "LayerWeightRecorder",
+    "LossRecorder",
+]

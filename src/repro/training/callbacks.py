@@ -1,0 +1,64 @@
+"""Training callbacks used by the figure-reproduction experiments.
+
+Callbacks are plain callables ``(epoch, model, history) -> None`` appended to
+:class:`repro.training.Trainer`.  The two provided here record the per-layer
+weighting trajectories that Figures 1 and 5 of the paper visualise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+__all__ = ["LayerWeightRecorder", "LayerSimilarityRecorder", "LossRecorder"]
+
+
+class LayerWeightRecorder:
+    """Records learnable layer-combination weights per epoch (Fig. 1).
+
+    Works with any model exposing ``layer_weight_values()`` returning an array
+    of per-layer weights (the learnable-weight LightGCN variant does).
+    """
+
+    def __init__(self) -> None:
+        self.trajectory: List[np.ndarray] = []
+
+    def __call__(self, epoch: int, model, history) -> None:
+        if hasattr(model, "layer_weight_values"):
+            self.trajectory.append(np.asarray(model.layer_weight_values(), dtype=np.float64))
+
+    def as_array(self) -> np.ndarray:
+        """(num_epochs, num_layers + 1) array of weights (ego layer first)."""
+        return np.stack(self.trajectory) if self.trajectory else np.empty((0, 0))
+
+
+class LayerSimilarityRecorder:
+    """Records LayerGCN's mean per-layer refinement similarities (Fig. 5)."""
+
+    def __init__(self) -> None:
+        self.trajectory: List[np.ndarray] = []
+
+    def __call__(self, epoch: int, model, history) -> None:
+        if hasattr(model, "layer_similarity_values"):
+            values = model.layer_similarity_values()
+            if values is not None:
+                self.trajectory.append(np.asarray(values, dtype=np.float64))
+
+    def as_array(self) -> np.ndarray:
+        """(num_epochs, num_layers) array of mean cosine similarities."""
+        return np.stack(self.trajectory) if self.trajectory else np.empty((0, 0))
+
+
+class LossRecorder:
+    """Keeps the summed batch loss per epoch (the curve of Fig. 3(b))."""
+
+    def __init__(self) -> None:
+        self.epoch_loss_sums: List[float] = []
+
+    def __call__(self, epoch: int, model, history) -> None:
+        if history.batch_losses:
+            self.epoch_loss_sums.append(float(np.sum(history.batch_losses[-1])))
+
+    def as_dict(self) -> Dict[int, float]:
+        return {epoch + 1: value for epoch, value in enumerate(self.epoch_loss_sums)}

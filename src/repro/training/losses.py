@@ -1,0 +1,89 @@
+"""Loss functions used across the models.
+
+* :func:`bpr_loss` — pairwise Bayesian Personalised Ranking (Eq. 11).
+* :func:`l2_regularization` — the λ ||X^0||² term of Eq. 12.
+* :func:`bce_loss` — binary cross entropy on scores (UltraGCN-style losses).
+* :func:`multinomial_nll` — the reconstruction term of MultiVAE's ELBO.
+* :func:`weighted_mse_loss` — EHCF's whole-data weighted regression loss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..autograd import Tensor
+from ..autograd.functional import log_softmax, logsigmoid
+
+__all__ = [
+    "bpr_loss",
+    "l2_regularization",
+    "bce_loss",
+    "multinomial_nll",
+    "weighted_mse_loss",
+]
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor) -> Tensor:
+    """Pairwise BPR loss: ``-log σ(r_ui - r_uj)`` averaged over the batch (Eq. 11)."""
+    difference = positive_scores - negative_scores
+    return -logsigmoid(difference).mean()
+
+
+def l2_regularization(*tensors: Tensor, coefficient: float = 1.0,
+                      normalize_by: Optional[int] = None) -> Tensor:
+    """λ * Σ ||x||² over the given tensors (the Eq. 12 regulariser).
+
+    ``normalize_by`` optionally divides by the batch size so the strength of
+    the penalty does not depend on the batch size, matching common LightGCN
+    implementations.
+    """
+    total: Optional[Tensor] = None
+    for tensor in tensors:
+        term = (tensor * tensor).sum()
+        total = term if total is None else total + term
+    if total is None:
+        raise ValueError("l2_regularization requires at least one tensor")
+    scale = coefficient
+    if normalize_by:
+        scale = coefficient / float(normalize_by)
+    return total * scale
+
+
+def bce_loss(scores: Tensor, labels: np.ndarray, weights: Optional[np.ndarray] = None) -> Tensor:
+    """Binary cross-entropy with logits, optionally weighted per element.
+
+    Computed as ``softplus(scores) - labels * scores`` which is the stable
+    form of ``-[y log σ(s) + (1-y) log(1-σ(s))]``.
+    """
+    labels_t = Tensor(np.asarray(labels, dtype=np.float64))
+    elementwise = scores.softplus() - labels_t * scores
+    if weights is not None:
+        elementwise = elementwise * Tensor(np.asarray(weights, dtype=np.float64))
+    return elementwise.mean()
+
+
+def multinomial_nll(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Multinomial negative log-likelihood used by MultiVAE.
+
+    ``targets`` is the binary (or count) interaction matrix of the batch; the
+    loss is ``-mean_u Σ_i x_ui * log_softmax(logits)_ui``.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    log_probs = log_softmax(logits, axis=1)
+    return -(targets_t * log_probs).sum(axis=1).mean()
+
+
+def weighted_mse_loss(predictions: Tensor, targets: np.ndarray,
+                      positive_weight: float = 1.0, negative_weight: float = 0.05) -> Tensor:
+    """Whole-data weighted squared loss in the spirit of EHCF.
+
+    Positive entries are weighted by ``positive_weight``; all missing entries
+    are treated as weak negatives with ``negative_weight``, so the model is
+    trained without negative sampling.
+    """
+    targets_arr = np.asarray(targets, dtype=np.float64)
+    weights = np.where(targets_arr > 0, positive_weight, negative_weight)
+    diff = predictions - Tensor(targets_arr)
+    return (Tensor(weights) * diff * diff).mean()

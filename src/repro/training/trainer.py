@@ -1,0 +1,171 @@
+"""Training loop with validation-based early stopping.
+
+Mirrors the protocol of Section V-A-4: Adam optimiser, early stopping on the
+validation score, a fixed cap on total epochs, and per-epoch loss tracking
+(the batch-loss curves of Fig. 3(b) come straight from
+:class:`TrainingHistory`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..autograd import Adam, Optimizer, SGD
+from ..data import DataSplit
+from ..eval import EvaluationResult, RankingEvaluator
+from ..models.base import Recommender
+
+__all__ = ["TrainerConfig", "TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainerConfig:
+    """Hyper-parameters of the optimisation loop.
+
+    Defaults are scaled-down versions of the paper's settings (learning rate
+    1e-3 Adam, early stopping, validation on Recall@20).
+    """
+
+    learning_rate: float = 1e-3
+    weight_decay: float = 0.0
+    optimizer: str = "adam"
+    epochs: int = 50
+    eval_every: int = 1
+    early_stopping_patience: int = 10
+    validation_metric: str = "recall@20"
+    validation_ks: Sequence[int] = (10, 20, 50)
+    verbose: bool = False
+    restore_best: bool = True
+
+
+@dataclass
+class TrainingHistory:
+    """Record of one training run.
+
+    Attributes
+    ----------
+    epoch_losses:
+        Mean mini-batch loss of every epoch (Fig. 3(b) uses the sum; both are
+        derivable from ``batch_losses``).
+    batch_losses:
+        Per-epoch list of every mini-batch loss.
+    validation_scores:
+        ``{epoch: metric_value}`` for the monitored validation metric.
+    best_epoch / best_score:
+        Epoch (1-based) that achieved the best validation score — the
+        "best epoch" quantity plotted in Fig. 3(a).
+    """
+
+    epoch_losses: List[float] = field(default_factory=list)
+    batch_losses: List[List[float]] = field(default_factory=list)
+    validation_scores: Dict[int, float] = field(default_factory=dict)
+    validation_results: Dict[int, EvaluationResult] = field(default_factory=dict)
+    best_epoch: int = 0
+    best_score: float = -np.inf
+    stopped_early: bool = False
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_epochs_run(self) -> int:
+        return len(self.epoch_losses)
+
+    def epoch_loss_sum(self, epoch_index: int) -> float:
+        """Summed batch loss of one epoch (matches the y-axis of Fig. 3(b))."""
+        return float(np.sum(self.batch_losses[epoch_index]))
+
+
+class Trainer:
+    """Drives the epoch/batch loop of a :class:`~repro.models.base.Recommender`."""
+
+    def __init__(self, model: Recommender, split: DataSplit,
+                 config: Optional[TrainerConfig] = None,
+                 callbacks: Optional[List[Callable[[int, Recommender, TrainingHistory], None]]] = None) -> None:
+        self.model = model
+        self.split = split
+        self.config = config or TrainerConfig()
+        self.callbacks = list(callbacks or [])
+        self.optimizer = self._build_optimizer()
+        metric, k = self._parse_metric(self.config.validation_metric)
+        ks = sorted(set(list(self.config.validation_ks) + [k]))
+        self.evaluator = RankingEvaluator(split, ks=ks, metrics=(metric,))
+        self._monitor_key = f"{metric}@{k}"
+
+    # ------------------------------------------------------------------ #
+    def _build_optimizer(self) -> Optimizer:
+        parameters = list(self.model.parameters())
+        name = self.config.optimizer.lower()
+        if name == "adam":
+            return Adam(parameters, lr=self.config.learning_rate,
+                        weight_decay=self.config.weight_decay)
+        if name == "sgd":
+            return SGD(parameters, lr=self.config.learning_rate,
+                       weight_decay=self.config.weight_decay)
+        raise ValueError(f"unknown optimizer '{self.config.optimizer}'")
+
+    @staticmethod
+    def _parse_metric(spec: str):
+        if "@" not in spec:
+            raise ValueError("validation metric must look like 'recall@20'")
+        metric, k = spec.split("@", 1)
+        return metric, int(k)
+
+    # ------------------------------------------------------------------ #
+    def fit(self) -> TrainingHistory:
+        """Run the full training loop and return its history."""
+        history = TrainingHistory()
+        best_state = None
+        epochs_without_improvement = 0
+
+        for epoch in range(1, self.config.epochs + 1):
+            self.model.train()
+            self.model.begin_epoch(epoch)
+            batch_losses: List[float] = []
+            for batch in self.model.make_batches(self.model.rng):
+                self.optimizer.zero_grad()
+                loss = self.model.train_step(batch)
+                loss.backward()
+                self.optimizer.step()
+                self.model.after_step()
+                batch_losses.append(float(loss.item()))
+
+            history.batch_losses.append(batch_losses)
+            epoch_loss = float(np.mean(batch_losses)) if batch_losses else 0.0
+            history.epoch_losses.append(epoch_loss)
+
+            if epoch % self.config.eval_every == 0 and self.split.num_valid > 0:
+                self.model.eval()
+                result = self.evaluator.evaluate(self.model, which="valid")
+                score = result.values.get(self._monitor_key, 0.0)
+                history.validation_scores[epoch] = score
+                history.validation_results[epoch] = result
+                if score > history.best_score:
+                    history.best_score = score
+                    history.best_epoch = epoch
+                    epochs_without_improvement = 0
+                    if self.config.restore_best:
+                        best_state = self.model.state_dict()
+                else:
+                    epochs_without_improvement += 1
+
+            for callback in self.callbacks:
+                callback(epoch, self.model, history)
+
+            if self.config.verbose:
+                val = history.validation_scores.get(epoch)
+                val_text = f", valid {self._monitor_key}={val:.4f}" if val is not None else ""
+                print(f"[{self.model.name}] epoch {epoch:3d} loss={epoch_loss:.4f}{val_text}")
+
+            if (self.config.early_stopping_patience > 0
+                    and epochs_without_improvement >= self.config.early_stopping_patience):
+                history.stopped_early = True
+                break
+
+        if self.config.restore_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+        if history.best_epoch == 0:
+            history.best_epoch = history.num_epochs_run
+        self.model.eval()
+        return history

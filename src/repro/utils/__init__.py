@@ -1,0 +1,6 @@
+"""Utility helpers: checkpointing and experiment reproducibility."""
+
+from .checkpoint import checkpoint_metadata, load_checkpoint, save_checkpoint
+from .seeding import seed_everything
+
+__all__ = ["checkpoint_metadata", "load_checkpoint", "save_checkpoint", "seed_everything"]

@@ -1,0 +1,85 @@
+"""Model persistence: save and restore trained recommenders.
+
+Checkpoints are plain ``.npz`` archives containing every parameter array plus
+a JSON metadata blob (model name, constructor arguments worth restoring,
+library version).  They can be reloaded into a freshly constructed model of
+the same architecture via :func:`load_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_metadata"]
+
+_METADATA_KEY = "__repro_metadata__"
+
+
+def save_checkpoint(model, path: Union[str, Path],
+                    extra_metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Write the model's parameters and metadata to ``path`` (.npz).
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.autograd.Module` (all recommenders qualify).
+    path:
+        Destination file; the ``.npz`` suffix is added if missing.
+    extra_metadata:
+        Optional JSON-serialisable dict stored alongside the weights (e.g.
+        training history summaries or dataset information).
+    """
+    from .. import __version__
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    state = model.state_dict()
+    metadata = {
+        "model_name": getattr(model, "name", type(model).__name__),
+        "model_class": type(model).__name__,
+        "num_parameters": int(model.num_parameters()),
+        "library_version": __version__,
+        "embedding_dim": getattr(model, "embedding_dim", None),
+        "extra": extra_metadata or {},
+    }
+    arrays = {f"param/{name}": value for name, value in state.items()}
+    arrays[_METADATA_KEY] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def checkpoint_metadata(path: Union[str, Path]) -> Dict[str, object]:
+    """Read only the metadata blob of a checkpoint."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        if _METADATA_KEY not in archive:
+            raise KeyError("not a repro checkpoint: metadata block missing")
+        raw = archive[_METADATA_KEY].tobytes().decode("utf-8")
+    return json.loads(raw)
+
+
+def load_checkpoint(model, path: Union[str, Path], strict_class: bool = True) -> Dict[str, object]:
+    """Load a checkpoint's parameters into ``model`` and return its metadata.
+
+    ``model`` must already be constructed with the same architecture (shapes
+    are validated by ``load_state_dict``).  With ``strict_class=True`` the
+    checkpoint must have been produced by the same model class.
+    """
+    path = Path(path)
+    metadata = checkpoint_metadata(path)
+    if strict_class and metadata.get("model_class") != type(model).__name__:
+        raise ValueError(
+            f"checkpoint was written by {metadata.get('model_class')}, "
+            f"but a {type(model).__name__} instance was provided "
+            "(pass strict_class=False to override)")
+    with np.load(path, allow_pickle=False) as archive:
+        state = {key[len("param/"):]: archive[key]
+                 for key in archive.files if key.startswith("param/")}
+    model.load_state_dict(state)
+    return metadata

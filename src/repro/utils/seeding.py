@@ -1,0 +1,21 @@
+"""Reproducibility helpers."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+__all__ = ["seed_everything"]
+
+
+def seed_everything(seed: int) -> np.random.Generator:
+    """Seed Python's and NumPy's global RNGs and return a seeded Generator.
+
+    Models and samplers in this library take explicit ``seed`` / ``rng``
+    arguments, so this helper is only needed for code paths that rely on the
+    global NumPy state (e.g. ad-hoc notebook experimentation).
+    """
+    random.seed(seed)
+    np.random.seed(seed)
+    return np.random.default_rng(seed)

@@ -1,0 +1,76 @@
+"""Tests for the recommendation-list diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    catalog_coverage,
+    gini_coefficient,
+    novelty,
+    popularity_bias,
+    recommendation_diagnostics,
+)
+from repro.models import BprMF
+from repro.training import Trainer, TrainerConfig
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        recs = [[0, 1], [2, 3]]
+        assert catalog_coverage(recs, num_items=4) == 1.0
+
+    def test_partial_coverage(self):
+        assert catalog_coverage([[0, 0], [0, 1]], num_items=4) == 0.5
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            catalog_coverage([[0]], num_items=0)
+
+
+class TestGini:
+    def test_uniform_exposure_gives_zero(self):
+        recs = [[0], [1], [2], [3]]
+        assert gini_coefficient(recs, num_items=4) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_exposure_near_one(self):
+        recs = [[0]] * 50
+        value = gini_coefficient(recs, num_items=100)
+        assert value > 0.9
+
+    def test_empty_recommendations(self):
+        assert gini_coefficient([], num_items=5) == 0.0
+
+    def test_more_concentration_higher_gini(self):
+        spread = [[i % 10] for i in range(50)]
+        concentrated = [[i % 2] for i in range(50)]
+        assert gini_coefficient(concentrated, 10) > gini_coefficient(spread, 10)
+
+
+class TestPopularityAndNovelty:
+    def test_popularity_bias_value(self):
+        degrees = np.array([10.0, 1.0, 1.0])
+        assert popularity_bias([[0], [1]], degrees) == pytest.approx((10 + 1) / 2)
+
+    def test_popularity_bias_empty(self):
+        assert popularity_bias([], np.array([1.0])) == 0.0
+
+    def test_novelty_higher_for_rare_items(self):
+        degrees = np.array([90.0, 1.0])
+        popular = novelty([[0]], degrees, num_users=100)
+        rare = novelty([[1]], degrees, num_users=100)
+        assert rare > popular
+
+    def test_novelty_empty(self):
+        assert novelty([], np.array([1.0]), num_users=10) == 0.0
+
+
+class TestModelDiagnostics:
+    def test_diagnostics_on_trained_model(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        Trainer(model, tiny_split, TrainerConfig(epochs=2, early_stopping_patience=0)).fit()
+        diagnostics = recommendation_diagnostics(model, tiny_split, k=5,
+                                                 users=range(min(10, tiny_split.num_users)))
+        assert set(diagnostics) == {"coverage", "gini", "popularity_bias", "novelty"}
+        assert 0.0 < diagnostics["coverage"] <= 1.0
+        assert 0.0 <= diagnostics["gini"] <= 1.0
+        assert diagnostics["novelty"] >= 0.0

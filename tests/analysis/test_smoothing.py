@@ -1,0 +1,106 @@
+"""Tests for the over-smoothing diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    SmoothingReport,
+    ego_drift,
+    embedding_variance,
+    mean_average_distance,
+    neighbor_divergence,
+    smoothing_report,
+)
+from repro.core import LayerGCN
+from repro.graph import BipartiteGraph
+from repro.models import LightGCN
+
+
+@pytest.fixture()
+def line_graph() -> BipartiteGraph:
+    # users 0,1 and items 0,1 connected as a path.
+    return BipartiteGraph(2, 2, [0, 0, 1], [0, 1, 1])
+
+
+class TestMeanAverageDistance:
+    def test_identical_embeddings_give_zero(self, line_graph):
+        embeddings = np.tile(np.array([1.0, 2.0, 3.0]), (4, 1))
+        assert mean_average_distance(embeddings, line_graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_orthogonal_neighbours_raise_distance(self, line_graph):
+        # Edges: (u0,i0) orthogonal (dist 1), (u0,i1) aligned (dist 0),
+        # (u1,i1) orthogonal (dist 1) -> mean cosine distance 2/3.
+        embeddings = np.array([[1.0, 0.0],   # user 0
+                               [0.0, 1.0],   # user 1
+                               [0.0, 1.0],   # item 0 (orthogonal to user 0)
+                               [1.0, 0.0]])  # item 1 (aligned with user 0, orthogonal to user 1)
+        value = mean_average_distance(embeddings, line_graph)
+        assert value == pytest.approx(2.0 / 3.0)
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph.from_pairs([], num_users=2, num_items=2)
+        assert mean_average_distance(np.ones((4, 3)), graph) == 0.0
+
+
+class TestVarianceAndDivergence:
+    def test_variance_zero_for_identical_rows(self):
+        assert embedding_variance(np.tile([1.0, 1.0], (5, 1))) == pytest.approx(0.0)
+
+    def test_variance_positive_for_spread_rows(self, rng):
+        assert embedding_variance(rng.normal(size=(20, 4))) > 0.0
+
+    def test_variance_without_normalisation(self):
+        matrix = np.array([[1.0, 0.0], [3.0, 0.0]])
+        # Same direction, different scale: normalised variance is 0 but raw is not.
+        assert embedding_variance(matrix, normalize=True) == pytest.approx(0.0)
+        assert embedding_variance(matrix, normalize=False) > 0.0
+
+    def test_neighbor_divergence_zero_when_identical(self, line_graph):
+        assert neighbor_divergence(np.ones((4, 3)), line_graph) == pytest.approx(0.0)
+
+    def test_neighbor_divergence_matches_manual(self, line_graph):
+        embeddings = np.zeros((4, 1))
+        embeddings[2, 0] = 1.0  # item 0 at distance 1 from user 0
+        # edges: (u0,i0) dist 1, (u0,i1) dist 0, (u1,i1) dist 0
+        assert neighbor_divergence(embeddings, line_graph) == pytest.approx(1.0 / 3.0)
+
+    def test_ego_drift_zero_for_same_direction(self, rng):
+        ego = rng.normal(size=(6, 4))
+        assert ego_drift(ego * 3.0, ego) == pytest.approx(0.0, abs=1e-9)
+
+    def test_ego_drift_shape_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            ego_drift(rng.normal(size=(3, 4)), rng.normal(size=(4, 4)))
+
+
+class TestSmoothingReport:
+    def test_report_fields(self, tiny_split):
+        model = LightGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        model.eval()
+        report = smoothing_report(model)
+        assert isinstance(report, SmoothingReport)
+        assert report.model == "lightgcn"
+        assert report.mad >= 0.0
+        assert report.variance >= 0.0
+        data = report.as_dict()
+        assert set(data) == {"model", "mad", "variance", "neighbor_distance", "ego_distance"}
+
+    def test_deeper_lightgcn_is_smoother(self, mooc_split):
+        """Stacking more LightGCN layers must reduce neighbour distance (Eq. 15)."""
+        shallow = LightGCN(mooc_split, embedding_dim=16, num_layers=1, seed=0)
+        deep = LightGCN(mooc_split, embedding_dim=16, num_layers=6, seed=0)
+        deep.embeddings.data = shallow.embeddings.data.copy()
+        shallow.eval()
+        deep.eval()
+        assert smoothing_report(deep).mad < smoothing_report(shallow).mad
+
+    def test_layergcn_less_smooth_than_lightgcn_at_depth(self, mooc_split):
+        """Proposition 2 in practice: at equal depth LayerGCN keeps neighbours more distinct."""
+        depth = 6
+        layergcn = LayerGCN(mooc_split, embedding_dim=16, num_layers=depth,
+                            dropout_ratio=0.0, seed=0)
+        lightgcn = LightGCN(mooc_split, embedding_dim=16, num_layers=depth, seed=0)
+        lightgcn.embeddings.data = layergcn.embeddings.data.copy()
+        layergcn.eval()
+        lightgcn.eval()
+        assert smoothing_report(layergcn).variance >= smoothing_report(lightgcn).variance * 0.5

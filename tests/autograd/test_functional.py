@@ -1,0 +1,158 @@
+"""Tests for the functional ops used by the recommendation models."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.functional import (
+    concat,
+    dropout,
+    embedding_l2,
+    l2_normalize,
+    log_softmax,
+    logsigmoid,
+    mse,
+    row_cosine_similarity,
+    scale_rows,
+    softmax,
+    stack,
+)
+
+from ..helpers import check_gradient
+
+
+class TestConcatStack:
+    def test_concat_axis0_values(self, rng):
+        a, b = rng.normal(size=(2, 3)), rng.normal(size=(4, 3))
+        out = concat([Tensor(a), Tensor(b)], axis=0)
+        np.testing.assert_allclose(out.data, np.concatenate([a, b], axis=0))
+
+    def test_concat_axis1_gradient(self, rng):
+        other = Tensor(rng.normal(size=(3, 2)))
+        check_gradient(lambda t: (concat([t, other], axis=1) ** 2).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_concat_routes_gradients_to_all_inputs(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 2)), requires_grad=True)
+        concat([a, b], axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_values_and_gradient(self, rng):
+        other = Tensor(rng.normal(size=(3,)))
+        check_gradient(lambda t: (stack([t, other], axis=0) ** 2).sum(), rng.normal(size=(3,)))
+
+
+class TestSoftmaxFamily:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = softmax(Tensor(rng.normal(size=(5, 7))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5))
+
+    def test_softmax_gradient(self, rng):
+        check_gradient(lambda t: (softmax(t, axis=1) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        values = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(log_softmax(Tensor(values)).data,
+                                   np.log(softmax(Tensor(values)).data), atol=1e-10)
+
+    def test_log_softmax_stable_for_large_logits(self):
+        out = log_softmax(Tensor([[1000.0, 0.0]]))
+        assert np.isfinite(out.data).all()
+
+    def test_logsigmoid_matches_reference(self, rng):
+        values = rng.normal(size=(10,))
+        np.testing.assert_allclose(logsigmoid(Tensor(values)).data,
+                                   np.log(1.0 / (1.0 + np.exp(-values))), atol=1e-10)
+
+    def test_logsigmoid_gradient(self, rng):
+        check_gradient(lambda t: logsigmoid(t).sum(), rng.normal(size=(5,)))
+
+
+class TestCosineSimilarity:
+    def test_identical_rows_have_similarity_one(self, rng):
+        values = rng.normal(size=(4, 8))
+        sims = row_cosine_similarity(Tensor(values), Tensor(values))
+        np.testing.assert_allclose(sims.data.ravel(), np.ones(4), atol=1e-8)
+
+    def test_opposite_rows_have_similarity_minus_one(self, rng):
+        values = rng.normal(size=(4, 8))
+        sims = row_cosine_similarity(Tensor(values), Tensor(-values))
+        np.testing.assert_allclose(sims.data.ravel(), -np.ones(4), atol=1e-8)
+
+    def test_orthogonal_rows_have_similarity_zero(self):
+        a = Tensor([[1.0, 0.0]])
+        b = Tensor([[0.0, 1.0]])
+        assert row_cosine_similarity(a, b).data.ravel()[0] == pytest.approx(0.0)
+
+    def test_output_shape_is_column(self, rng):
+        sims = row_cosine_similarity(Tensor(rng.normal(size=(6, 3))),
+                                     Tensor(rng.normal(size=(6, 3))))
+        assert sims.shape == (6, 1)
+
+    def test_zero_row_does_not_nan(self):
+        a = Tensor(np.zeros((2, 3)))
+        b = Tensor(np.ones((2, 3)))
+        assert np.isfinite(row_cosine_similarity(a, b).data).all()
+
+    def test_gradient_flows_through_current_layer(self, rng):
+        ego = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: row_cosine_similarity(t, ego).sum(),
+                       rng.normal(size=(3, 4)), rtol=5e-3, atol=1e-5)
+
+
+class TestRowScalingAndNorms:
+    def test_scale_rows_with_column_vector(self, rng):
+        values = rng.normal(size=(4, 3))
+        weights = rng.normal(size=(4, 1))
+        out = scale_rows(Tensor(values), Tensor(weights))
+        np.testing.assert_allclose(out.data, values * weights)
+
+    def test_scale_rows_with_flat_vector(self, rng):
+        values = rng.normal(size=(4, 3))
+        weights = rng.normal(size=(4,))
+        out = scale_rows(Tensor(values), Tensor(weights))
+        np.testing.assert_allclose(out.data, values * weights[:, None])
+
+    def test_l2_normalize_gives_unit_rows(self, rng):
+        out = l2_normalize(Tensor(rng.normal(size=(5, 6))), axis=1)
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), np.ones(5), atol=1e-8)
+
+    def test_embedding_l2_value(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[2.0, 0.0]])
+        assert embedding_l2(a, b).item() == pytest.approx(0.5 * (1 + 4 + 4))
+
+    def test_embedding_l2_requires_input(self):
+        with pytest.raises(ValueError):
+            embedding_l2()
+
+    def test_mse_value(self):
+        assert mse(Tensor([1.0, 2.0]), Tensor([1.0, 4.0])).item() == pytest.approx(2.0)
+
+
+class TestDropout:
+    def test_dropout_disabled_in_eval(self, rng):
+        t = Tensor(rng.normal(size=(10, 10)))
+        out = dropout(t, 0.5, rng=np.random.default_rng(0), training=False)
+        assert out is t
+
+    def test_dropout_zero_rate_is_identity(self, rng):
+        t = Tensor(rng.normal(size=(10, 10)))
+        assert dropout(t, 0.0, training=True) is t
+
+    def test_dropout_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            dropout(Tensor(rng.normal(size=(3, 3)), requires_grad=True), 1.0, training=True)
+
+    def test_dropout_preserves_expectation(self):
+        t = Tensor(np.ones((200, 200)), requires_grad=True)
+        out = dropout(t, 0.4, rng=np.random.default_rng(0), training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_dropout_zeroes_roughly_rate_fraction(self):
+        t = Tensor(np.ones((200, 200)), requires_grad=True)
+        out = dropout(t, 0.3, rng=np.random.default_rng(1), training=True)
+        zero_fraction = float((out.data == 0).mean())
+        assert zero_fraction == pytest.approx(0.3, abs=0.03)

@@ -1,0 +1,163 @@
+"""Tests for Module/Parameter bookkeeping, initialisers and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam, Module, Parameter, SGD, Tensor, init
+
+
+class _TinyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.weight = Parameter(np.ones((2, 2)))
+        self.bias = Parameter(np.zeros(2))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.matmul(self.weight) + self.bias
+
+
+class _Nested(Module):
+    def __init__(self):
+        super().__init__()
+        self.inner = _TinyModel()
+        self.scale = Parameter(np.ones(1))
+
+
+class TestModule:
+    def test_parameters_discovered(self):
+        model = _TinyModel()
+        names = dict(model.named_parameters())
+        assert set(names) == {"weight", "bias"}
+
+    def test_nested_parameters_discovered(self):
+        model = _Nested()
+        names = dict(model.named_parameters())
+        assert set(names) == {"scale", "inner.weight", "inner.bias"}
+
+    def test_num_parameters(self):
+        assert _TinyModel().num_parameters() == 6
+
+    def test_train_eval_mode_propagates(self):
+        model = _Nested()
+        model.eval()
+        assert not model.training and not model.inner.training
+        model.train()
+        assert model.training and model.inner.training
+
+    def test_zero_grad(self):
+        model = _TinyModel()
+        out = model(Tensor(np.ones((1, 2))))
+        out.sum().backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_state_dict_round_trip(self):
+        model = _Nested()
+        state = model.state_dict()
+        state["inner.weight"] = state["inner.weight"] + 5.0
+        model.load_state_dict(state)
+        np.testing.assert_allclose(model.inner.weight.data, np.ones((2, 2)) + 5.0)
+
+    def test_load_state_dict_rejects_missing_keys(self):
+        model = _TinyModel()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"weight": np.ones((2, 2))})
+
+    def test_load_state_dict_rejects_shape_mismatch(self):
+        model = _TinyModel()
+        state = model.state_dict()
+        state["bias"] = np.zeros(3)
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self, rng):
+        values = init.xavier_uniform((100, 50), rng=rng)
+        bound = np.sqrt(6.0 / 150)
+        assert values.min() >= -bound and values.max() <= bound
+
+    def test_xavier_normal_std(self, rng):
+        values = init.xavier_normal((500, 500), rng=rng)
+        assert values.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_normal(self, rng):
+        values = init.normal((1000,), mean=1.0, std=0.5, rng=rng)
+        assert values.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_zeros_and_ones(self):
+        assert init.zeros((3, 2)).sum() == 0
+        assert init.ones((3, 2)).sum() == 6
+
+    def test_scalar_shape_rejected(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform(())
+
+
+def _quadratic_loss(param: Parameter) -> Tensor:
+    # Simple convex objective: ||p - 3||^2
+    diff = param - 3.0
+    return (diff * diff).sum()
+
+
+class TestOptimizers:
+    def test_sgd_decreases_quadratic(self):
+        param = Parameter(np.zeros(4))
+        opt = SGD([param], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = _quadratic_loss(param)
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        param = Parameter(np.zeros(4))
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(300):
+            opt.zero_grad()
+            _quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_adam_converges(self):
+        param = Parameter(np.zeros(4))
+        opt = Adam([param], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            _quadratic_loss(param).backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_weight_decay_shrinks_parameters(self):
+        param = Parameter(np.full(3, 10.0))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        opt.zero_grad()
+        (param * 0.0).sum().backward()
+        opt.step()
+        assert np.all(np.abs(param.data) < 10.0)
+
+    def test_step_skips_parameters_without_grad(self):
+        param = Parameter(np.ones(2))
+        opt = Adam([param], lr=0.1)
+        opt.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(param.data, np.ones(2))
+
+    def test_empty_parameter_list_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=-1.0)
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], lr=0.1, betas=(1.5, 0.9))

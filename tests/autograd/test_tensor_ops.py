@@ -1,0 +1,223 @@
+"""Unit tests for the Tensor class: forward values and backward gradients."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad
+
+from ..helpers import check_gradient
+
+
+class TestBasicProperties:
+    def test_wraps_array(self):
+        t = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert t.shape == (2, 2)
+        assert t.ndim == 2
+        assert t.size == 4
+        assert t.dtype == np.float64
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_detach_cuts_graph(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert np.shares_memory(d.data, t.data)
+
+    def test_copy_is_independent(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        c = t.copy()
+        c.data[0] = 99.0
+        assert t.data[0] == 1.0
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(Tensor([1.0], requires_grad=True))
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_requires_scalar(self):
+        t = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_gradient_accumulates_across_uses(self):
+        t = Tensor([2.0], requires_grad=True)
+        loss = (t * 3.0 + t * 4.0).sum()
+        loss.backward()
+        assert t.grad == pytest.approx([7.0])
+
+    def test_backward_twice_accumulates(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        (t * 2.0).sum().backward()
+        assert t.grad == pytest.approx([4.0])
+
+    def test_no_grad_blocks_graph(self):
+        t = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = (t * 2.0).sum()
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        (t * 2.0).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestArithmeticGradients:
+    def test_add(self, rng):
+        check_gradient(lambda t: (t + 3.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_add_broadcast(self, rng):
+        other = Tensor(rng.normal(size=(1, 4)))
+        check_gradient(lambda t: (t + other).sum(), rng.normal(size=(3, 4)))
+
+    def test_sub(self, rng):
+        check_gradient(lambda t: (t - 1.5).sum(), rng.normal(size=(2, 3)))
+
+    def test_rsub(self, rng):
+        check_gradient(lambda t: (5.0 - t).sum(), rng.normal(size=(4,)))
+
+    def test_mul(self, rng):
+        other = Tensor(rng.normal(size=(3, 4)))
+        check_gradient(lambda t: (t * other).sum(), rng.normal(size=(3, 4)))
+
+    def test_div(self, rng):
+        other = Tensor(rng.uniform(1.0, 2.0, size=(3, 4)))
+        check_gradient(lambda t: (t / other).sum(), rng.normal(size=(3, 4)))
+
+    def test_rdiv(self, rng):
+        check_gradient(lambda t: (2.0 / t).sum(), rng.uniform(0.5, 2.0, size=(5,)))
+
+    def test_neg(self, rng):
+        check_gradient(lambda t: (-t).sum(), rng.normal(size=(3,)))
+
+    def test_pow(self, rng):
+        check_gradient(lambda t: (t ** 3).sum(), rng.uniform(0.5, 2.0, size=(4,)))
+
+    def test_pow_with_tensor_exponent_raises(self):
+        with pytest.raises(TypeError):
+            Tensor([2.0]) ** Tensor([2.0])
+
+    def test_both_operands_receive_grads(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = Tensor([3.0], requires_grad=True)
+        (a * b).sum().backward()
+        assert a.grad == pytest.approx([3.0])
+        assert b.grad == pytest.approx([2.0])
+
+
+class TestMatmulGradients:
+    def test_matmul(self, rng):
+        other = Tensor(rng.normal(size=(4, 5)))
+        check_gradient(lambda t: (t @ other).sum(), rng.normal(size=(3, 4)))
+
+    def test_matmul_right_operand(self, rng):
+        left = rng.normal(size=(3, 4))
+        check_gradient(lambda t: (Tensor(left) @ t).sum(), rng.normal(size=(4, 5)))
+
+    def test_matmul_values(self):
+        a = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        b = Tensor([[5.0], [6.0]])
+        np.testing.assert_allclose((a @ b).data, [[17.0], [39.0]])
+
+    def test_transpose(self, rng):
+        check_gradient(lambda t: (t.transpose() * 2.0).sum(), rng.normal(size=(3, 4)))
+
+    def test_t_property(self, rng):
+        value = rng.normal(size=(2, 3))
+        np.testing.assert_allclose(Tensor(value).T.data, value.T)
+
+    def test_reshape(self, rng):
+        check_gradient(lambda t: (t.reshape(6) ** 2).sum(), rng.normal(size=(2, 3)))
+
+
+class TestReductionGradients:
+    def test_sum_all(self, rng):
+        check_gradient(lambda t: t.sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_axis(self, rng):
+        check_gradient(lambda t: (t.sum(axis=0) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_sum_keepdims(self, rng):
+        check_gradient(lambda t: (t.sum(axis=1, keepdims=True) * 2.0).sum(),
+                       rng.normal(size=(3, 4)))
+
+    def test_mean(self, rng):
+        check_gradient(lambda t: t.mean(), rng.normal(size=(4, 5)))
+
+    def test_mean_axis(self, rng):
+        check_gradient(lambda t: (t.mean(axis=1) ** 2).sum(), rng.normal(size=(3, 4)))
+
+    def test_norm(self, rng):
+        check_gradient(lambda t: t.norm(axis=1).sum(), rng.normal(size=(3, 4)))
+
+
+class TestNonlinearityGradients:
+    def test_exp(self, rng):
+        check_gradient(lambda t: t.exp().sum(), rng.normal(size=(3, 3)))
+
+    def test_log(self, rng):
+        check_gradient(lambda t: t.log().sum(), rng.uniform(0.5, 3.0, size=(3, 3)))
+
+    def test_sigmoid(self, rng):
+        check_gradient(lambda t: t.sigmoid().sum(), rng.normal(size=(3, 3)))
+
+    def test_tanh(self, rng):
+        check_gradient(lambda t: t.tanh().sum(), rng.normal(size=(3, 3)))
+
+    def test_relu(self, rng):
+        # Keep values away from zero where ReLU is non-differentiable.
+        values = rng.normal(size=(3, 3))
+        values[np.abs(values) < 0.1] = 0.5
+        check_gradient(lambda t: t.relu().sum(), values)
+
+    def test_leaky_relu(self, rng):
+        values = rng.normal(size=(3, 3))
+        values[np.abs(values) < 0.1] = 0.5
+        check_gradient(lambda t: t.leaky_relu(0.2).sum(), values)
+
+    def test_softplus(self, rng):
+        check_gradient(lambda t: t.softplus().sum(), rng.normal(size=(3, 3)))
+
+    def test_softplus_is_stable_for_large_inputs(self):
+        out = Tensor([800.0]).softplus()
+        assert np.isfinite(out.data).all()
+        assert out.data[0] == pytest.approx(800.0)
+
+    def test_clip(self, rng):
+        values = rng.normal(size=(4, 4)) * 3
+        values[np.abs(np.abs(values) - 1.0) < 0.1] += 0.3
+        check_gradient(lambda t: t.clip(-1.0, 1.0).sum(), values)
+
+    def test_sigmoid_values(self):
+        np.testing.assert_allclose(Tensor([0.0]).sigmoid().data, [0.5])
+
+
+class TestIndexingGradients:
+    def test_getitem_row(self, rng):
+        check_gradient(lambda t: (t[1] ** 2).sum(), rng.normal(size=(4, 3)))
+
+    def test_gather_rows(self, rng):
+        indices = np.array([0, 2, 2, 1])
+        check_gradient(lambda t: (t.gather_rows(indices) ** 2).sum(), rng.normal(size=(4, 3)))
+
+    def test_gather_rows_repeated_index_accumulates(self):
+        t = Tensor(np.ones((3, 2)), requires_grad=True)
+        gathered = t.gather_rows(np.array([1, 1, 1]))
+        gathered.sum().backward()
+        np.testing.assert_allclose(t.grad, [[0.0, 0.0], [3.0, 3.0], [0.0, 0.0]])
+
+    def test_comparisons_return_arrays(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert (t > 1.5).tolist() == [False, True, True]
+        assert (t <= 2.0).tolist() == [True, True, False]

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataSplit, dataset_preset, chronological_split, prepare_split
+from repro.experiments import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small synthetic dataset reused across tests (session-scoped: read-only)."""
+    return dataset_preset("tiny", seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_split(tiny_dataset) -> DataSplit:
+    """Chronological split of the tiny dataset."""
+    return chronological_split(tiny_dataset)
+
+
+@pytest.fixture(scope="session")
+def mooc_split() -> DataSplit:
+    """A scaled-down dense (MOOC-like) split for graph-model tests."""
+    return prepare_split("mooc", seed=3, scale=0.25)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def quick_scale() -> ExperimentScale:
+    """Very small experiment scale so experiment smoke-tests stay fast."""
+    scale = ExperimentScale.quick()
+    scale.epochs = 2
+    scale.embedding_dim = 8
+    scale.dataset_scale = 0.2
+    return scale

@@ -1,0 +1,101 @@
+"""Tests for InteractionDataset and DataSplit containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, chronological_split
+
+
+@pytest.fixture()
+def dataset() -> InteractionDataset:
+    users = [10, 10, 20, 30, 30, 30]
+    items = [100, 200, 100, 300, 200, 100]
+    timestamps = [5.0, 1.0, 2.0, 3.0, 4.0, 0.5]
+    return InteractionDataset(users, items, timestamps, name="toy")
+
+
+class TestInteractionDataset:
+    def test_ids_are_compacted(self, dataset):
+        assert dataset.num_users == 3
+        assert dataset.num_items == 3
+        assert dataset.users.max() == 2
+        assert dataset.items.max() == 2
+
+    def test_id_maps_preserved(self, dataset):
+        assert dataset.user_id_map[10] == 0
+        assert dataset.item_id_map[300] in (0, 1, 2)
+
+    def test_num_interactions_and_len(self, dataset):
+        assert dataset.num_interactions == 6
+        assert len(dataset) == 6
+
+    def test_sparsity(self, dataset):
+        assert dataset.sparsity == pytest.approx(1.0 - 6 / 9)
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset([1, 2], [1])
+        with pytest.raises(ValueError):
+            InteractionDataset([1, 2], [1, 2], timestamps=[1.0])
+
+    def test_default_timestamps_are_order(self):
+        dataset = InteractionDataset([1, 2, 3], [1, 2, 3])
+        np.testing.assert_allclose(dataset.timestamps, [0, 1, 2])
+
+    def test_chronological_order(self, dataset):
+        order = dataset.chronological_order()
+        sorted_ts = dataset.timestamps[order]
+        assert np.all(np.diff(sorted_ts) >= 0)
+
+    def test_to_graph_dimensions(self, dataset):
+        graph = dataset.to_graph()
+        assert graph.num_users == dataset.num_users
+        assert graph.num_edges == dataset.num_interactions
+
+    def test_subset(self, dataset):
+        subset = dataset.subset(np.array([0, 1]), name="sub")
+        assert subset.num_interactions == 2
+        assert subset.name == "sub"
+
+    def test_table_row(self, dataset):
+        row = dataset.table_row()
+        assert row["dataset"] == "toy"
+        assert row["num_interactions"] == 6
+
+    def test_repr(self, dataset):
+        assert "toy" in repr(dataset)
+
+
+class TestDataSplit:
+    def test_partition_counts(self, dataset):
+        split = chronological_split(dataset, train_ratio=0.5, valid_ratio=0.2)
+        assert split.num_train + split.num_valid + split.num_test <= dataset.num_interactions
+        assert split.num_train >= 1
+
+    def test_ground_truth_shapes(self, tiny_split):
+        truth = tiny_split.ground_truth("test")
+        assert all(isinstance(items, list) and items for items in truth.values())
+
+    def test_ground_truth_validation_partition(self, tiny_split):
+        truth = tiny_split.ground_truth("valid")
+        assert isinstance(truth, dict)
+
+    def test_ground_truth_invalid_name(self, tiny_split):
+        with pytest.raises(ValueError):
+            tiny_split.ground_truth("bogus")
+
+    def test_train_positive_sets_cover_all_train_interactions(self, tiny_split):
+        sets = tiny_split.train_positive_sets()
+        total = sum(len(s) for s in sets)
+        unique_pairs = len({(int(u), int(i)) for u, i in
+                            zip(tiny_split.train_users, tiny_split.train_items)})
+        assert total == unique_pairs
+
+    def test_train_graph_dimensions(self, tiny_split):
+        graph = tiny_split.train_graph()
+        assert graph.num_users == tiny_split.num_users
+        assert graph.num_items == tiny_split.num_items
+        assert graph.num_edges == tiny_split.num_train
+
+    def test_repr(self, tiny_split):
+        assert "DataSplit" in repr(tiny_split)

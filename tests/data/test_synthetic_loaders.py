@@ -1,0 +1,125 @@
+"""Tests for the synthetic dataset generators and the file/preset loaders."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PRESETS,
+    SyntheticConfig,
+    dataset_preset,
+    generate_dataset,
+    list_presets,
+    load_interactions_csv,
+    prepare_split,
+)
+
+
+class TestSyntheticGenerator:
+    def test_respects_configured_sizes(self):
+        config = SyntheticConfig(num_users=50, num_items=30, num_interactions=400, name="cfg")
+        dataset = generate_dataset(config, seed=0)
+        assert dataset.num_users <= 50
+        assert dataset.num_items <= 30
+        assert dataset.num_interactions <= 400
+        assert dataset.num_interactions > 100
+
+    def test_reproducible_with_same_seed(self):
+        config = SyntheticConfig(num_users=40, num_items=20, num_interactions=300)
+        a = generate_dataset(config, seed=5)
+        b = generate_dataset(config, seed=5)
+        np.testing.assert_array_equal(a.users, b.users)
+        np.testing.assert_array_equal(a.items, b.items)
+
+    def test_different_seeds_differ(self):
+        config = SyntheticConfig(num_users=40, num_items=20, num_interactions=300)
+        a = generate_dataset(config, seed=1)
+        b = generate_dataset(config, seed=2)
+        assert not (np.array_equal(a.users, b.users) and np.array_equal(a.items, b.items))
+
+    def test_no_duplicate_interactions(self):
+        dataset = generate_dataset(SyntheticConfig(num_users=30, num_items=15,
+                                                   num_interactions=500), seed=3)
+        pairs = set(zip(dataset.users.tolist(), dataset.items.tolist()))
+        assert len(pairs) == dataset.num_interactions
+
+    def test_timestamps_roughly_increasing(self):
+        dataset = generate_dataset(SyntheticConfig(num_users=30, num_items=15,
+                                                   num_interactions=400), seed=4)
+        # Timestamps have jitter but their ordering must correlate with index order.
+        order = dataset.chronological_order()
+        displacement = np.abs(order - np.arange(order.size)).mean()
+        assert displacement < order.size * 0.2
+
+
+class TestPresets:
+    def test_all_presets_listed(self):
+        names = list_presets()
+        for expected in ("mooc", "games", "food", "yelp", "tiny"):
+            assert expected in names
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError):
+            dataset_preset("imaginary")
+
+    def test_scale_shrinks_dataset(self):
+        full = dataset_preset("games", seed=0, scale=1.0)
+        small = dataset_preset("games", seed=0, scale=0.3)
+        assert small.num_interactions < full.num_interactions
+
+    def test_mooc_is_denser_than_yelp(self):
+        """The MOOC preset must reproduce the paper's dense-platform regime."""
+        mooc = dataset_preset("mooc", seed=0)
+        yelp = dataset_preset("yelp", seed=0)
+        assert mooc.sparsity < yelp.sparsity
+        # MOOC has far more users per item than yelp (Table I shape).
+        assert mooc.num_users / mooc.num_items > yelp.num_users / yelp.num_items
+
+    def test_mooc_items_have_higher_degrees_than_yelp(self):
+        mooc_graph = dataset_preset("mooc", seed=0).to_graph()
+        yelp_graph = dataset_preset("yelp", seed=0).to_graph()
+        assert np.median(mooc_graph.item_degrees()) > np.median(yelp_graph.item_degrees())
+
+    def test_presets_are_immutable_configs(self):
+        assert isinstance(PRESETS["mooc"], SyntheticConfig)
+        with pytest.raises(AttributeError):
+            PRESETS["mooc"].num_users = 1
+
+
+class TestLoaders:
+    def test_load_interactions_csv(self, tmp_path):
+        path = tmp_path / "interactions.csv"
+        path.write_text("user,item,ts\n"
+                        "alice,apple,3\n"
+                        "bob,apple,1\n"
+                        "alice,pear,2\n")
+        dataset = load_interactions_csv(path)
+        assert dataset.num_users == 2
+        assert dataset.num_items == 2
+        assert dataset.num_interactions == 3
+
+    def test_load_csv_without_timestamp_column(self, tmp_path):
+        path = tmp_path / "pairs.csv"
+        path.write_text("u,i\n1,2\n2,3\n")
+        dataset = load_interactions_csv(path, timestamp_column=None)
+        assert dataset.num_interactions == 2
+
+    def test_prepare_split_from_preset(self):
+        split = prepare_split("tiny", seed=0)
+        assert split.num_train > 0
+        assert split.num_users > 0
+
+    def test_prepare_split_from_csv(self, tmp_path):
+        path = tmp_path / "data.csv"
+        lines = ["user,item,ts"]
+        rng = np.random.default_rng(0)
+        for t in range(300):
+            lines.append(f"{rng.integers(20)},{rng.integers(15)},{t}")
+        path.write_text("\n".join(lines))
+        split = prepare_split("custom", source_csv=path)
+        assert split.num_train > 100
+
+    def test_prepare_split_applies_core_filter(self):
+        games = prepare_split("games", seed=0, scale=0.5)
+        # 5-core (softened by scale) guarantees training-item degrees >= 2.
+        item_degrees = games.train_graph().item_degrees()
+        assert item_degrees[item_degrees > 0].min() >= 1

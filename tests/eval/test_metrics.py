@@ -1,0 +1,100 @@
+"""Tests for the ranking metrics (Recall@K, NDCG@K and companions)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    average_precision_at_k,
+    dcg_at_k,
+    hit_rate_at_k,
+    idcg_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestRecall:
+    def test_perfect_ranking(self):
+        assert recall_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_partial_hit(self):
+        assert recall_at_k([1, 9, 8], {1, 2}, 3) == pytest.approx(0.5)
+
+    def test_no_hits(self):
+        assert recall_at_k([7, 8, 9], {1, 2}, 3) == 0.0
+
+    def test_empty_relevant_set(self):
+        assert recall_at_k([1, 2], set(), 2) == 0.0
+
+    def test_cutoff_limits_hits(self):
+        # Relevant item ranked outside the cut-off does not count.
+        assert recall_at_k([9, 9, 9, 1], {1}, 3) == 0.0
+        assert recall_at_k([9, 9, 9, 1], {1}, 4) == 1.0
+
+    def test_denominator_is_relevant_count_not_k(self):
+        # Eq. 26: divide by |I_u^t| even when it exceeds K.
+        assert recall_at_k([1, 2], {1, 2, 3, 4}, 2) == pytest.approx(0.5)
+
+
+class TestPrecisionAndHitRate:
+    def test_precision(self):
+        assert precision_at_k([1, 9, 2, 8], {1, 2}, 4) == pytest.approx(0.5)
+
+    def test_precision_zero_k(self):
+        assert precision_at_k([1], {1}, 0) == 0.0
+
+    def test_hit_rate_positive(self):
+        assert hit_rate_at_k([5, 1], {1}, 2) == 1.0
+
+    def test_hit_rate_negative(self):
+        assert hit_rate_at_k([5, 6], {1}, 2) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        assert ndcg_at_k([1, 2, 3], {1, 2, 3}, 3) == pytest.approx(1.0)
+
+    def test_worst_case_is_zero(self):
+        assert ndcg_at_k([7, 8, 9], {1}, 3) == 0.0
+
+    def test_rank_position_matters(self):
+        early = ndcg_at_k([1, 9, 8], {1}, 3)
+        late = ndcg_at_k([9, 8, 1], {1}, 3)
+        assert early > late > 0.0
+
+    def test_matches_manual_computation(self):
+        # One relevant item at rank 2: DCG = 1/log2(3), IDCG = 1/log2(2).
+        expected = (1.0 / np.log2(3.0)) / (1.0 / np.log2(2.0))
+        assert ndcg_at_k([9, 1, 8], {1}, 3) == pytest.approx(expected)
+
+    def test_dcg_binary_formula(self):
+        assert dcg_at_k([1, 2], {1, 2}, 2) == pytest.approx(1.0 + 1.0 / np.log2(3.0))
+
+    def test_idcg_caps_at_k(self):
+        assert idcg_at_k(10, 2) == pytest.approx(1.0 + 1.0 / np.log2(3.0))
+
+    def test_idcg_zero_relevant(self):
+        assert idcg_at_k(0, 5) == 0.0
+
+    def test_bounded_by_one(self, rng):
+        for _ in range(20):
+            ranked = rng.permutation(20).tolist()
+            relevant = set(rng.choice(20, size=5, replace=False).tolist())
+            value = ndcg_at_k(ranked, relevant, 10)
+            assert 0.0 <= value <= 1.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision_at_k([1, 2], {1, 2}, 2) == pytest.approx(1.0)
+
+    def test_empty_relevant(self):
+        assert average_precision_at_k([1, 2], set(), 2) == 0.0
+
+    def test_no_hits(self):
+        assert average_precision_at_k([3, 4], {1}, 2) == 0.0
+
+    def test_intermediate_value(self):
+        # Hits at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision_at_k([1, 9, 2], {1, 2}, 3) == pytest.approx((1.0 + 2.0 / 3.0) / 2)

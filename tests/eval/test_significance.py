@@ -1,0 +1,64 @@
+"""Tests for the paired significance tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval import EvaluationResult, SignificanceReport, compare_per_user, paired_t_test
+
+
+class TestPairedTTest:
+    def test_clear_difference_is_significant(self):
+        a = [0.30, 0.31, 0.29, 0.32, 0.30]
+        b = [0.20, 0.21, 0.19, 0.22, 0.20]
+        report = paired_t_test(a, b)
+        assert report.significant
+        assert report.p_value < 0.05
+        assert report.improvement > 0
+
+    def test_identical_samples_not_significant(self):
+        a = [0.3, 0.3, 0.3]
+        report = paired_t_test(a, a)
+        assert not report.significant
+        assert report.p_value == 1.0
+        assert report.improvement == 0.0
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0.3, 0.01, size=10)
+        report = paired_t_test(base + rng.normal(0, 0.05, size=10), base)
+        assert report.p_value > 0.001  # overwhelmingly likely not significant
+
+    def test_requires_equal_lengths(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])
+
+    def test_requires_at_least_two_pairs(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [0.5])
+
+    def test_improvement_sign(self):
+        report = paired_t_test([0.1, 0.1], [0.2, 0.2])
+        assert report.improvement < 0
+
+    def test_improvement_with_zero_baseline(self):
+        report = paired_t_test([0.1, 0.2], [0.0, 0.0])
+        assert report.improvement == float("inf")
+
+    def test_repr_contains_marker(self):
+        report = paired_t_test([0.30, 0.31, 0.29, 0.32], [0.20, 0.21, 0.19, 0.22])
+        assert "%" in repr(report)
+
+
+class TestComparePerUser:
+    def test_compare_per_user(self):
+        a = EvaluationResult(per_user={"recall@20": np.array([0.5, 0.6, 0.7, 0.5])})
+        b = EvaluationResult(per_user={"recall@20": np.array([0.3, 0.4, 0.5, 0.3])})
+        report = compare_per_user(a, b, "recall@20")
+        assert isinstance(report, SignificanceReport)
+        assert report.mean_a > report.mean_b
+
+    def test_missing_metric_rejected(self):
+        a = EvaluationResult(per_user={"recall@20": np.array([0.5, 0.6])})
+        b = EvaluationResult(per_user={})
+        with pytest.raises(KeyError):
+            compare_per_user(a, b, "recall@20")

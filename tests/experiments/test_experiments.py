@@ -1,0 +1,186 @@
+"""Smoke tests for every paper table/figure harness (quick scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentScale,
+    best_cell,
+    degree_skew_summary,
+    format_grid,
+    format_layer_sweep,
+    format_table,
+    format_table1,
+    format_table3,
+    format_table4,
+    format_table5,
+    list_experiments,
+    metric_keys,
+    resolve_scale,
+    run_degree_cdf,
+    run_experiment,
+    run_table1,
+)
+from repro.experiments.overall import TABLE2_MODELS, format_table2, run_table2
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        identifiers = set(list_experiments())
+        expected = {"table1", "table2", "table3", "table4", "table5",
+                    "fig1", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig7"}
+        assert expected <= identifiers
+
+    def test_every_entry_has_description(self):
+        assert all(spec["description"] for spec in EXPERIMENTS.values())
+
+    def test_unknown_identifier_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+    def test_resolve_scale(self):
+        assert resolve_scale(None) is None
+        assert isinstance(resolve_scale("quick"), ExperimentScale)
+        assert resolve_scale("full").embedding_dim == 64
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+        with pytest.raises(TypeError):
+            resolve_scale(42)
+
+
+class TestTable1:
+    def test_rows_cover_all_datasets(self):
+        rows = run_table1(scale=0.3)
+        assert {row["dataset"] for row in rows} == {"mooc", "games", "food", "yelp"}
+
+    def test_mooc_preserves_dense_shape(self):
+        rows = {row["dataset"]: row for row in run_table1(scale=0.5)}
+        assert rows["mooc"]["sparsity"] < rows["yelp"]["sparsity"]
+        assert rows["mooc"]["users_per_item"] > rows["games"]["users_per_item"]
+
+    def test_formatting(self):
+        text = format_table1(run_table1(scale=0.3))
+        assert "mooc" in text and "sparsity" in text
+
+
+class TestTable2:
+    def test_subset_run_produces_all_metrics(self, quick_scale):
+        rows = run_table2(datasets=("mooc",),
+                          models=("BPR", "LightGCN", "LayerGCN (Full)"),
+                          scale=quick_scale)
+        assert len(rows) == 3
+        for key in metric_keys(quick_scale.eval_ks):
+            assert all(key in row for row in rows)
+
+    def test_improvement_columns_on_layergcn_full(self, quick_scale):
+        rows = run_table2(datasets=("mooc",), models=("LightGCN", "LayerGCN (Full)"),
+                          scale=quick_scale)
+        full_row = next(row for row in rows if row["model"] == "LayerGCN (Full)")
+        assert any(key.startswith("improvement_") for key in full_row)
+
+    def test_unknown_model_rejected(self, quick_scale):
+        with pytest.raises(KeyError):
+            run_table2(datasets=("mooc",), models=("GPT-Rec",), scale=quick_scale)
+
+    def test_model_table_matches_paper_columns(self):
+        assert list(TABLE2_MODELS) == [
+            "BPR", "MultiVAE", "EHCF", "BUIR", "NGCF", "LR-GCCF", "LightGCN",
+            "UltraGCN", "IMP-GCN", "LayerGCN (w/o Dropout)", "LayerGCN (Full)"]
+
+    def test_formatting(self, quick_scale):
+        rows = run_table2(datasets=("mooc",), models=("BPR", "LayerGCN (Full)"),
+                          scale=quick_scale)
+        text = format_table2(rows, ks=quick_scale.eval_ks)
+        assert "mooc" in text and "LayerGCN (Full)" in text
+
+
+class TestTable3AndFig6:
+    def test_table3_rows(self, quick_scale):
+        rows = run_experiment("table3", scale=quick_scale, lightgcn_layers=(1, 2))
+        assert len(rows) == 3  # LayerGCN + two LightGCN depths
+        assert "recall@20" in rows[0]
+        assert "LayerGCN" in format_table3(rows)
+
+    def test_fig6_sweep(self, quick_scale):
+        rows = run_experiment("fig6", scale=quick_scale, layers=(1, 2))
+        assert len(rows) == 4  # two models x two depths
+        assert "recall@50" in format_layer_sweep(rows)
+
+
+class TestTable4AndFig3:
+    def test_table4_rows(self, quick_scale):
+        rows = run_experiment("table4", scale=quick_scale, datasets=("mooc",),
+                              checkpoint_epochs=(1,))
+        variants = {row["variant"] for row in rows}
+        assert variants == {"dropedge", "degreedrop"}
+        epochs = {row["epoch"] for row in rows}
+        assert epochs == {1, "best"}
+        assert "degreedrop" in format_table4(rows)
+
+    def test_fig3a_convergence_sweep(self, quick_scale):
+        rows = run_experiment("fig3a", scale=quick_scale, ratios=(0.2, 0.5))
+        assert len(rows) == 4
+        assert all(row["best_epoch"] >= 1 for row in rows)
+
+    def test_fig3b_loss_curves(self, quick_scale):
+        curves = run_experiment("fig3b", scale=quick_scale, dropout_ratio=0.5)
+        assert set(curves) == {"dropedge", "degreedrop"}
+        assert all(len(values) == quick_scale.epochs for values in curves.values())
+
+
+class TestTable5:
+    def test_rows_and_formatting(self, quick_scale):
+        rows = run_experiment("table5", scale=quick_scale, datasets=("mooc",))
+        assert {row["dropout_type"] for row in rows} == {"dropedge", "mixed", "degreedrop"}
+        assert "mixed" in format_table5(rows)
+
+
+class TestFigures1And5:
+    def test_fig1_weight_trajectory_shape(self, quick_scale):
+        result = run_experiment("fig1", scale=quick_scale, num_layers=3)
+        assert result["trajectory"].shape == (quick_scale.epochs, 4)
+        np.testing.assert_allclose(result["trajectory"].sum(axis=1),
+                                   np.ones(quick_scale.epochs), atol=1e-8)
+
+    def test_fig5_similarity_trajectory_shape(self, quick_scale):
+        result = run_experiment("fig5", scale=quick_scale, num_layers=3)
+        assert result["trajectory"].shape == (quick_scale.epochs, 3)
+        assert np.all(np.abs(result["trajectory"]) <= 1.0 + 1e-6)
+        assert result["max_final_share"] <= 1.0
+
+
+class TestFig4:
+    def test_cdf_monotone_and_normalised(self):
+        results = run_degree_cdf(datasets=("mooc", "yelp"), scale=0.4)
+        for payload in results.values():
+            cdf = payload["cdf"]
+            assert np.all(np.diff(cdf) >= -1e-12)
+            assert cdf[-1] == pytest.approx(1.0)
+
+    def test_mooc_items_more_popular_than_yelp(self):
+        results = run_degree_cdf(datasets=("mooc", "yelp"), scale=0.6)
+        summary = {row["dataset"]: row for row in degree_skew_summary(results)}
+        assert summary["mooc"]["mean_degree"] > summary["yelp"]["mean_degree"]
+
+
+class TestFig7:
+    def test_grid_covers_all_cells(self, quick_scale):
+        cells = run_experiment("fig7", scale=quick_scale, lambdas=(1e-4, 1e-2),
+                               dropout_ratios=(0.0, 0.1))
+        assert len(cells) == 4
+        best = best_cell(cells)
+        assert best in cells
+        assert "λ=" in format_grid(cells)
+
+    def test_best_cell_requires_data(self):
+        with pytest.raises(ValueError):
+            best_cell([])
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 0.123456}, {"a": 20, "b": 7.0}]
+        text = format_table(rows, ["a", "b"])
+        assert "0.1235" in text
+        assert text.count("\n") == 3

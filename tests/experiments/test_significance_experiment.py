@@ -1,0 +1,32 @@
+"""Tests for the multi-seed significance protocol of Table II's footnote."""
+
+import pytest
+
+from repro.experiments import ExperimentScale, run_significance
+
+
+class TestRunSignificance:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scale = ExperimentScale.quick()
+        scale.epochs = 2
+        scale.embedding_dim = 8
+        scale.dataset_scale = 0.2
+        return run_significance(dataset="games", baseline="LightGCN",
+                                metric="recall@20", seeds=(0, 1, 2), scale=scale)
+
+    def test_report_structure(self, report):
+        assert report["dataset"] == "games"
+        assert report["baseline"] == "LightGCN"
+        assert len(report["layergcn_scores"]) == 3
+        assert len(report["baseline_scores"]) == 3
+
+    def test_p_value_in_unit_interval(self, report):
+        assert 0.0 <= report["p_value"] <= 1.0
+
+    def test_scores_are_valid_recalls(self, report):
+        for value in report["layergcn_scores"] + report["baseline_scores"]:
+            assert 0.0 <= value <= 1.0
+
+    def test_significance_flag_consistent_with_p_value(self, report):
+        assert report["significant"] == (report["p_value"] < 0.05)

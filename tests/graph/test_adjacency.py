@@ -1,0 +1,95 @@
+"""Tests for adjacency normalisation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import (
+    BipartiteGraph,
+    add_self_loops,
+    normalized_adjacency,
+    propagation_matrix,
+    renormalize,
+    symmetric_normalize,
+)
+
+
+@pytest.fixture()
+def graph() -> BipartiteGraph:
+    users = [0, 0, 1, 2, 2, 2]
+    items = [0, 1, 0, 1, 2, 3]
+    return BipartiteGraph(3, 4, users, items)
+
+
+class TestSymmetricNormalize:
+    def test_matches_dense_formula(self, graph):
+        adjacency = graph.adjacency_matrix()
+        normalized = symmetric_normalize(adjacency).toarray()
+        dense = adjacency.toarray()
+        degrees = dense.sum(axis=1)
+        d_inv_sqrt = np.diag(1.0 / np.sqrt(degrees))
+        np.testing.assert_allclose(normalized, d_inv_sqrt @ dense @ d_inv_sqrt)
+
+    def test_spectrum_bounded_by_one(self, graph):
+        # The symmetric normalised adjacency has eigenvalues in [-1, 1].
+        normalized = symmetric_normalize(graph.adjacency_matrix()).toarray()
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert np.all(np.abs(eigenvalues) <= 1.0 + 1e-9)
+
+    def test_isolated_node_gives_zero_row(self):
+        adjacency = sp.csr_matrix(np.array([[0.0, 1.0, 0.0],
+                                            [1.0, 0.0, 0.0],
+                                            [0.0, 0.0, 0.0]]))
+        normalized = symmetric_normalize(adjacency).toarray()
+        assert np.isfinite(normalized).all()
+        np.testing.assert_allclose(normalized[2], 0.0)
+
+    def test_symmetry_preserved(self, graph):
+        normalized = symmetric_normalize(graph.adjacency_matrix()).toarray()
+        np.testing.assert_allclose(normalized, normalized.T, atol=1e-12)
+
+
+class TestSelfLoopsAndRenormalize:
+    def test_add_self_loops_diagonal(self, graph):
+        with_loops = add_self_loops(graph.adjacency_matrix())
+        np.testing.assert_allclose(with_loops.diagonal(), np.ones(graph.num_nodes))
+
+    def test_add_self_loops_custom_weight(self, graph):
+        with_loops = add_self_loops(graph.adjacency_matrix(), weight=2.5)
+        np.testing.assert_allclose(with_loops.diagonal(), np.full(graph.num_nodes, 2.5))
+
+    def test_renormalize_has_nonzero_diagonal(self, graph):
+        renorm = renormalize(graph.adjacency_matrix()).toarray()
+        assert np.all(renorm.diagonal() > 0)
+
+    def test_renormalize_rows_finite(self, graph):
+        renorm = renormalize(graph.adjacency_matrix()).toarray()
+        assert np.isfinite(renorm).all()
+
+
+class TestGraphLevelHelpers:
+    def test_normalized_adjacency_no_loops_has_zero_diag(self, graph):
+        matrix = normalized_adjacency(graph, self_loops=False).toarray()
+        np.testing.assert_allclose(matrix.diagonal(), 0.0)
+
+    def test_normalized_adjacency_with_loops(self, graph):
+        matrix = normalized_adjacency(graph, self_loops=True).toarray()
+        assert np.all(matrix.diagonal() > 0)
+
+    def test_propagation_matrix_full_equals_normalized(self, graph):
+        full = normalized_adjacency(graph).toarray()
+        via_edges = propagation_matrix(graph).toarray()
+        np.testing.assert_allclose(full, via_edges)
+
+    def test_propagation_matrix_subset_drops_edges(self, graph):
+        kept = np.array([0, 1, 2])  # keep only the first three edges
+        pruned = propagation_matrix(
+            graph,
+            user_indices=graph.user_indices[kept],
+            item_indices=graph.item_indices[kept],
+        )
+        full = propagation_matrix(graph)
+        assert pruned.nnz < full.nnz
+
+    def test_propagation_matrix_shape(self, graph):
+        assert propagation_matrix(graph).shape == (graph.num_nodes, graph.num_nodes)

@@ -1,0 +1,114 @@
+"""Tests for the bipartite user-item graph."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph
+
+
+@pytest.fixture()
+def small_graph() -> BipartiteGraph:
+    # 3 users, 4 items, 6 interactions.
+    users = [0, 0, 1, 1, 2, 2]
+    items = [0, 1, 1, 2, 2, 3]
+    return BipartiteGraph(3, 4, users, items)
+
+
+class TestConstruction:
+    def test_basic_counts(self, small_graph):
+        assert small_graph.num_users == 3
+        assert small_graph.num_items == 4
+        assert small_graph.num_nodes == 7
+        assert small_graph.num_edges == 6
+
+    def test_sparsity(self, small_graph):
+        assert small_graph.sparsity == pytest.approx(1.0 - 6 / 12)
+
+    def test_stats_container(self, small_graph):
+        stats = small_graph.stats()
+        assert stats.num_interactions == 6
+        assert stats.num_users == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, [0, 1], [0])
+
+    def test_out_of_range_user_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, [0, 5], [0, 1])
+
+    def test_out_of_range_item_rejected(self):
+        with pytest.raises(ValueError):
+            BipartiteGraph(2, 2, [0, 1], [0, 7])
+
+    def test_from_pairs(self):
+        graph = BipartiteGraph.from_pairs([(0, 1), (1, 0)])
+        assert graph.num_users == 2
+        assert graph.num_items == 2
+        assert graph.num_edges == 2
+
+    def test_from_pairs_empty(self):
+        graph = BipartiteGraph.from_pairs([], num_users=3, num_items=2)
+        assert graph.num_edges == 0
+        assert graph.sparsity == 1.0
+
+    def test_repr(self, small_graph):
+        assert "BipartiteGraph" in repr(small_graph)
+
+
+class TestMatrices:
+    def test_interaction_matrix_shape_and_entries(self, small_graph):
+        matrix = small_graph.interaction_matrix()
+        assert matrix.shape == (3, 4)
+        assert matrix[0, 0] == 1.0
+        assert matrix[0, 3] == 0.0
+        assert matrix.nnz == 6
+
+    def test_interaction_matrix_binarizes_duplicates(self):
+        graph = BipartiteGraph(1, 1, [0, 0], [0, 0])
+        matrix = graph.interaction_matrix()
+        assert matrix[0, 0] == 1.0
+
+    def test_adjacency_is_symmetric(self, small_graph):
+        adjacency = small_graph.adjacency_matrix()
+        dense = adjacency.toarray()
+        np.testing.assert_allclose(dense, dense.T)
+
+    def test_adjacency_block_structure(self, small_graph):
+        dense = small_graph.adjacency_matrix().toarray()
+        # User-user and item-item blocks must be zero (bipartite, Eq. 4).
+        assert dense[:3, :3].sum() == 0
+        assert dense[3:, 3:].sum() == 0
+        # The user-item block equals R.
+        np.testing.assert_allclose(dense[:3, 3:], small_graph.interaction_matrix().toarray())
+
+    def test_adjacency_with_edge_subset(self, small_graph):
+        adjacency = small_graph.adjacency_matrix(
+            user_indices=np.array([0]), item_indices=np.array([0]))
+        assert adjacency.nnz == 2  # one undirected edge
+
+
+class TestDegrees:
+    def test_user_degrees(self, small_graph):
+        np.testing.assert_allclose(small_graph.user_degrees(), [2, 2, 2])
+
+    def test_item_degrees(self, small_graph):
+        np.testing.assert_allclose(small_graph.item_degrees(), [1, 2, 2, 1])
+
+    def test_node_degrees_concatenation(self, small_graph):
+        degrees = small_graph.node_degrees()
+        assert degrees.shape == (7,)
+        assert degrees.sum() == 2 * small_graph.num_edges / 1  # users + items each count edges once
+
+    def test_edge_endpoints_offsets_items(self, small_graph):
+        user_nodes, item_nodes = small_graph.edge_endpoints()
+        assert item_nodes.min() >= small_graph.num_users
+
+    def test_user_items_map(self, small_graph):
+        mapping = small_graph.user_items()
+        assert set(mapping[0]) == {0, 1}
+        assert set(mapping[2]) == {2, 3}
+
+    def test_positive_item_sets(self, small_graph):
+        sets = small_graph.positive_item_sets()
+        assert sets[1] == {1, 2}

@@ -1,0 +1,127 @@
+"""Tests for the edge-dropout samplers (DropEdge, DegreeDrop, Mixed)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import BipartiteGraph, DegreeDrop, DropEdge, EdgeDropout, MixedDrop, build_edge_dropout
+
+
+@pytest.fixture()
+def skewed_graph() -> BipartiteGraph:
+    """Graph with one very popular item (item 0) and several rare items."""
+    rng = np.random.default_rng(0)
+    users = []
+    items = []
+    for user in range(40):
+        users.append(user)
+        items.append(0)            # every user interacts with the hub item
+        users.append(user)
+        items.append(1 + user % 10)  # plus one long-tail item
+    return BipartiteGraph(40, 11, users, items)
+
+
+class TestEdgeDropoutBase:
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            DropEdge(dropout_ratio=1.0)
+        with pytest.raises(ValueError):
+            DropEdge(dropout_ratio=-0.1)
+
+    def test_zero_ratio_keeps_all_edges(self, skewed_graph):
+        sampler = DropEdge(dropout_ratio=0.0)
+        kept = sampler.sample_edges(skewed_graph)
+        assert kept.size == skewed_graph.num_edges
+
+    def test_num_kept_rounding(self):
+        sampler = DropEdge(dropout_ratio=0.25)
+        assert sampler.num_kept(100) == 75
+        assert sampler.num_kept(0) == 0
+        assert sampler.num_kept(1) == 1
+
+    def test_sample_size_matches_ratio(self, skewed_graph):
+        sampler = DropEdge(dropout_ratio=0.3, rng=np.random.default_rng(1))
+        kept = sampler.sample_edges(skewed_graph)
+        assert kept.size == sampler.num_kept(skewed_graph.num_edges)
+
+    def test_sampled_indices_unique_and_in_range(self, skewed_graph):
+        sampler = DegreeDrop(dropout_ratio=0.5, rng=np.random.default_rng(2))
+        kept = sampler.sample_edges(skewed_graph)
+        assert len(set(kept.tolist())) == kept.size
+        assert kept.min() >= 0 and kept.max() < skewed_graph.num_edges
+
+    def test_callable_interface(self, skewed_graph):
+        sampler = DropEdge(dropout_ratio=0.2, rng=np.random.default_rng(3))
+        assert sampler(skewed_graph).size == sampler.num_kept(skewed_graph.num_edges)
+
+    def test_empty_graph(self):
+        graph = BipartiteGraph.from_pairs([], num_users=3, num_items=3)
+        assert DropEdge(dropout_ratio=0.5).sample_edges(graph).size == 0
+
+    def test_repr(self):
+        assert "0.3" in repr(DegreeDrop(dropout_ratio=0.3))
+
+
+class TestDegreeDrop:
+    def test_keep_probabilities_follow_eq5(self, skewed_graph):
+        sampler = DegreeDrop(dropout_ratio=0.5)
+        probs = sampler.keep_probabilities(skewed_graph)
+        user_deg = skewed_graph.user_degrees()[skewed_graph.user_indices]
+        item_deg = skewed_graph.item_degrees()[skewed_graph.item_indices]
+        expected = 1.0 / (np.sqrt(user_deg) * np.sqrt(item_deg))
+        np.testing.assert_allclose(probs, expected)
+
+    def test_hub_edges_dropped_preferentially(self, skewed_graph):
+        """Edges into the hub item (degree 40) should be kept less often than tail edges."""
+        sampler = DegreeDrop(dropout_ratio=0.5, rng=np.random.default_rng(0))
+        hub_kept = 0
+        tail_kept = 0
+        for _ in range(30):
+            kept = sampler.sample_edges(skewed_graph)
+            kept_items = skewed_graph.item_indices[kept]
+            hub_kept += int((kept_items == 0).sum())
+            tail_kept += int((kept_items != 0).sum())
+        # Equal numbers of hub and tail edges exist, so under uniform pruning
+        # the two counts would be statistically equal; DegreeDrop must keep
+        # clearly fewer hub edges.
+        assert hub_kept < tail_kept * 0.8
+
+    def test_uniform_dropedge_keeps_hub_and_tail_equally(self, skewed_graph):
+        sampler = DropEdge(dropout_ratio=0.5, rng=np.random.default_rng(0))
+        hub_kept = 0
+        tail_kept = 0
+        for _ in range(30):
+            kept = sampler.sample_edges(skewed_graph)
+            kept_items = skewed_graph.item_indices[kept]
+            hub_kept += int((kept_items == 0).sum())
+            tail_kept += int((kept_items != 0).sum())
+        assert hub_kept == pytest.approx(tail_kept, rel=0.1)
+
+
+class TestMixedDrop:
+    def test_alternates_between_strategies(self, skewed_graph):
+        sampler = MixedDrop(dropout_ratio=0.5, rng=np.random.default_rng(0))
+        even = sampler.sample_edges(skewed_graph, epoch=0)
+        odd = sampler.sample_edges(skewed_graph, epoch=1)
+        assert even.size == odd.size
+        # Even epochs (DegreeDrop) keep fewer hub edges than odd epochs (uniform).
+        even_hub = int((skewed_graph.item_indices[even] == 0).sum())
+        odd_hub = int((skewed_graph.item_indices[odd] == 0).sum())
+        assert even_hub <= odd_hub + 5  # sampling noise allowance
+
+
+class TestFactory:
+    def test_build_known_kinds(self):
+        assert isinstance(build_edge_dropout("dropedge", 0.1), DropEdge)
+        assert isinstance(build_edge_dropout("degreedrop", 0.1), DegreeDrop)
+        assert isinstance(build_edge_dropout("mixed", 0.1), MixedDrop)
+        assert isinstance(build_edge_dropout("uniform", 0.1), DropEdge)
+        assert isinstance(build_edge_dropout("degree", 0.1), DegreeDrop)
+
+    def test_none_returns_none(self):
+        assert build_edge_dropout("none", 0.1) is None
+        assert build_edge_dropout(None, 0.1) is None
+        assert build_edge_dropout("", 0.1) is None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            build_edge_dropout("magic", 0.1)

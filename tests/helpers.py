@@ -1,0 +1,47 @@
+"""Test helpers: numerical gradient checking for the autograd substrate."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+
+def numerical_gradient(func: Callable[[np.ndarray], float], value: np.ndarray,
+                       epsilon: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar function of one array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + epsilon
+        upper = func(value)
+        flat[index] = original - epsilon
+        lower = func(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2.0 * epsilon)
+    return grad
+
+
+def check_gradient(build_loss: Callable[[Tensor], Tensor], value: np.ndarray,
+                   rtol: float = 1e-4, atol: float = 1e-6) -> None:
+    """Assert the autograd gradient of ``build_loss`` matches finite differences.
+
+    ``build_loss`` maps a Tensor (requires_grad) to a scalar Tensor.
+    """
+    value = np.asarray(value, dtype=np.float64)
+
+    tensor = Tensor(value.copy(), requires_grad=True)
+    loss = build_loss(tensor)
+    loss.backward()
+    analytic = tensor.grad
+
+    def scalar_func(array: np.ndarray) -> float:
+        return float(build_loss(Tensor(array.copy())).data)
+
+    numeric = numerical_gradient(scalar_func, value)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)

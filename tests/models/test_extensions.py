@@ -1,0 +1,146 @@
+"""Tests for the paper's discussed extensions: content-aware and self-supervised LayerGCN."""
+
+import numpy as np
+import pytest
+
+from repro.core import ContentLayerGCN, LayerGCN
+from repro.core.content import _FUSION_OPERATORS
+from repro.models import build_model
+from repro.models.selfcf import SelfSupervisedLayerGCN
+from repro.training import Trainer, TrainerConfig
+
+
+@pytest.fixture()
+def item_features(tiny_split, rng):
+    return rng.normal(size=(tiny_split.num_items, 6))
+
+
+@pytest.fixture()
+def user_features(tiny_split, rng):
+    return rng.normal(size=(tiny_split.num_users, 4))
+
+
+class TestContentLayerGCN:
+    def test_invalid_mode_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            ContentLayerGCN(tiny_split, mode="bogus")
+
+    def test_invalid_fusion_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            ContentLayerGCN(tiny_split, fusion="multiply")
+
+    def test_feature_shape_validation(self, tiny_split, rng):
+        with pytest.raises(ValueError):
+            ContentLayerGCN(tiny_split, item_features=rng.normal(size=(3, 4)))
+        with pytest.raises(ValueError):
+            ContentLayerGCN(tiny_split, user_features=rng.normal(size=(3, 4)))
+
+    def test_fuse_add_keeps_embedding_dim(self, tiny_split, item_features):
+        model = ContentLayerGCN(tiny_split, item_features=item_features,
+                                mode="fuse", fusion="add", embedding_dim=8,
+                                num_layers=2, dropout_ratio=0.0)
+        model.eval()
+        final = model.propagate()
+        assert final.shape == (tiny_split.num_users + tiny_split.num_items, 8)
+
+    def test_fuse_concat_doubles_dimension(self, tiny_split, item_features):
+        model = ContentLayerGCN(tiny_split, item_features=item_features,
+                                mode="fuse", fusion="concat", embedding_dim=8,
+                                num_layers=2, dropout_ratio=0.0)
+        model.eval()
+        final = model.propagate()
+        assert final.shape[1] == 16
+
+    def test_init_mode_incorporates_content(self, tiny_split, item_features):
+        content_model = ContentLayerGCN(tiny_split, item_features=item_features,
+                                        mode="init", embedding_dim=8, num_layers=2,
+                                        dropout_ratio=0.0, seed=0)
+        plain_model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2,
+                               dropout_ratio=0.0, seed=0)
+        assert not np.allclose(content_model.embeddings.data, plain_model.embeddings.data)
+
+    def test_content_projection_receives_gradients(self, tiny_split, item_features, user_features):
+        model = ContentLayerGCN(tiny_split, item_features=item_features,
+                                user_features=user_features, mode="fuse",
+                                embedding_dim=8, num_layers=2, seed=0)
+        model.begin_epoch(1)
+        batch = next(iter(model.make_batches()))
+        model.train_step(batch).backward()
+        assert model.content_projection.grad is not None
+        assert np.abs(model.content_projection.grad).sum() > 0
+
+    def test_trains_end_to_end(self, tiny_split, item_features):
+        model = ContentLayerGCN(tiny_split, item_features=item_features,
+                                embedding_dim=8, num_layers=2, seed=0)
+        history = Trainer(model, tiny_split,
+                          TrainerConfig(epochs=2, early_stopping_patience=0)).fit()
+        assert history.num_epochs_run == 2
+
+    def test_registered_in_model_registry(self, tiny_split):
+        model = build_model("content-layergcn", tiny_split, embedding_dim=8, num_layers=2)
+        assert isinstance(model, ContentLayerGCN)
+
+    def test_missing_features_default_to_zero_content(self, tiny_split):
+        model = ContentLayerGCN(tiny_split, embedding_dim=8, num_layers=2)
+        assert model._content.shape[0] == tiny_split.num_users + tiny_split.num_items
+
+    def test_fusion_operator_list(self):
+        assert set(_FUSION_OPERATORS) == {"add", "concat"}
+
+
+class TestSelfSupervisedLayerGCN:
+    def test_parameter_validation(self, tiny_split):
+        with pytest.raises(ValueError):
+            SelfSupervisedLayerGCN(tiny_split, ssl_weight=-0.1)
+        with pytest.raises(ValueError):
+            SelfSupervisedLayerGCN(tiny_split, ssl_temperature=0.0)
+
+    def test_ssl_loss_added_to_bpr(self, tiny_split):
+        base = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, dropout_ratio=0.0, seed=0)
+        ssl = SelfSupervisedLayerGCN(tiny_split, embedding_dim=8, num_layers=2,
+                                     dropout_ratio=0.0, ssl_weight=1.0, seed=0)
+        ssl.embeddings.data = base.embeddings.data.copy()
+        batch = next(iter(base.make_batches(np.random.default_rng(0))))
+        base_loss = base.train_step(batch).item()
+        ssl_loss = ssl.train_step(batch).item()
+        assert ssl_loss > base_loss
+
+    def test_zero_weight_matches_base_loss(self, tiny_split):
+        base = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, dropout_ratio=0.0, seed=0)
+        ssl = SelfSupervisedLayerGCN(tiny_split, embedding_dim=8, num_layers=2,
+                                     dropout_ratio=0.0, ssl_weight=0.0, seed=0)
+        ssl.embeddings.data = base.embeddings.data.copy()
+        batch = next(iter(base.make_batches(np.random.default_rng(0))))
+        assert ssl.train_step(batch).item() == pytest.approx(base.train_step(batch).item())
+
+    def test_perturbed_views_differ(self, tiny_split, rng):
+        model = SelfSupervisedLayerGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        from repro.autograd import Tensor
+
+        anchor = Tensor(rng.normal(size=(10, 8)))
+        view_a = model._perturbed_view(anchor)
+        view_b = model._perturbed_view(anchor)
+        assert not np.allclose(view_a.data, view_b.data)
+        # Perturbation norm stays bounded by the configured scale.
+        assert np.linalg.norm(view_a.data - anchor.data, axis=1).max() <= model.perturbation_scale + 1e-9
+
+    def test_info_nce_lower_for_aligned_views(self, tiny_split, rng):
+        from repro.autograd import Tensor
+
+        model = SelfSupervisedLayerGCN(tiny_split, embedding_dim=8, seed=0)
+        values = rng.normal(size=(12, 8))
+        aligned = model._info_nce(Tensor(values), Tensor(values)).item()
+        shuffled = model._info_nce(Tensor(values), Tensor(values[::-1].copy())).item()
+        assert aligned < shuffled
+
+    def test_trains_end_to_end(self, tiny_split):
+        model = SelfSupervisedLayerGCN(tiny_split, embedding_dim=8, num_layers=2,
+                                       ssl_weight=0.2, seed=0)
+        history = Trainer(model, tiny_split,
+                          TrainerConfig(epochs=2, early_stopping_patience=0)).fit()
+        assert history.num_epochs_run == 2
+        assert np.isfinite(history.epoch_losses).all()
+
+    def test_registered_in_model_registry(self, tiny_split):
+        model = build_model("ssl-layergcn", tiny_split, embedding_dim=8, num_layers=2)
+        assert isinstance(model, SelfSupervisedLayerGCN)

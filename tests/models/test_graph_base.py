@@ -1,0 +1,85 @@
+"""Tests for the shared GraphRecommender machinery (BPR batch loss, caching, scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.models import LightGCN
+from repro.models.graph_base import GraphRecommender
+
+
+class _IdentityPropagation(GraphRecommender):
+    """Minimal concrete subclass: final embeddings are the ego embeddings."""
+
+    name = "identity-graph"
+
+    def propagate(self):
+        return self.embeddings
+
+
+class TestGraphRecommenderContract:
+    def test_item_nodes_are_offset_by_num_users(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8)
+        items = np.array([0, 3, 5])
+        np.testing.assert_array_equal(model._item_nodes(items), items + tiny_split.num_users)
+
+    def test_train_step_without_regularisation(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8, l2_reg=0.0, seed=0)
+        batch = next(iter(model.make_batches()))
+        loss_no_reg = model.train_step(batch).item()
+
+        regularised = _IdentityPropagation(tiny_split, embedding_dim=8, l2_reg=1.0, seed=0)
+        regularised.embeddings.data = model.embeddings.data.copy()
+        loss_with_reg = regularised.train_step(batch).item()
+        assert loss_with_reg > loss_no_reg
+
+    def test_invalid_num_layers_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            _IdentityPropagation(tiny_split, num_layers=-2)
+
+    def test_scores_match_embedding_dot_products(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        users = np.array([0, 2])
+        scores = model.score_users(users)
+        user_matrix, item_matrix = model.user_item_embeddings()
+        np.testing.assert_allclose(scores, user_matrix[users] @ item_matrix.T)
+
+    def test_eval_cache_invalidated_by_training_mode(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8, seed=0)
+        model.eval()
+        cached = model.final_embeddings()
+        assert model._cached_final is not None
+        model.train()
+        assert model._cached_final is None
+        # Changing parameters while training then re-entering eval refreshes the cache.
+        model.embeddings.data = model.embeddings.data + 1.0
+        model.eval()
+        refreshed = model.final_embeddings()
+        assert not np.allclose(cached, refreshed)
+
+    def test_begin_epoch_clears_cache(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8)
+        model.eval()
+        model.final_embeddings()
+        model.begin_epoch(2)
+        assert model._cached_final is None
+
+    def test_default_propagation_operator_is_full_adjacency(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8)
+        assert model.propagation_operator() is model.adjacency
+
+    def test_adjacency_matches_training_graph_size(self, tiny_split):
+        model = LightGCN(tiny_split, embedding_dim=8, num_layers=1)
+        n = tiny_split.num_users + tiny_split.num_items
+        assert model.adjacency.shape == (n, n)
+        assert model.graph.num_edges == tiny_split.num_train
+
+    def test_num_parameters_counts_embedding_table(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8)
+        expected = (tiny_split.num_users + tiny_split.num_items) * 8
+        assert model.num_parameters() == expected
+
+    def test_repr_mentions_dimensions(self, tiny_split):
+        model = _IdentityPropagation(tiny_split, embedding_dim=8)
+        text = repr(model)
+        assert str(tiny_split.num_users) in text and "dim=8" in text

@@ -1,0 +1,184 @@
+"""Tests for the core LayerGCN model and its layer-refinement mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core import LayerGCN, refine_layer, refinement_similarity
+from repro.models import LightGCN
+from repro.training import Trainer, TrainerConfig
+
+
+class TestRefinementOperator:
+    def test_identical_layers_scaled_by_one_plus_eps(self, rng):
+        values = rng.normal(size=(5, 4))
+        refined, similarity = refine_layer(Tensor(values), Tensor(values), eps=1e-8)
+        np.testing.assert_allclose(similarity.data.ravel(), np.ones(5), atol=1e-7)
+        np.testing.assert_allclose(refined.data, values * (1.0 + 1e-8), atol=1e-6)
+
+    def test_orthogonal_layer_scaled_to_epsilon(self):
+        hidden = Tensor([[1.0, 0.0]])
+        ego = Tensor([[0.0, 1.0]])
+        refined, similarity = refine_layer(hidden, ego, eps=0.01)
+        assert similarity.data.ravel()[0] == pytest.approx(0.0, abs=1e-8)
+        np.testing.assert_allclose(refined.data, [[0.01, 0.0]], atol=1e-8)
+
+    def test_opposite_layer_flipped(self, rng):
+        values = rng.normal(size=(3, 4))
+        refined, similarity = refine_layer(Tensor(values), Tensor(-values), eps=0.0)
+        np.testing.assert_allclose(similarity.data.ravel(), -np.ones(3), atol=1e-7)
+        np.testing.assert_allclose(refined.data, -values, atol=1e-6)
+
+    def test_refinement_reduces_distance_to_ego(self, rng):
+        """Proposition 2: refined layers stay closer to the ego layer when cos < 0."""
+        ego = rng.normal(size=(50, 8))
+        hidden = -ego + 0.3 * rng.normal(size=(50, 8))  # mostly anti-aligned
+        refined, similarity = refine_layer(Tensor(hidden), Tensor(ego), eps=0.0)
+        mask = similarity.data.ravel() < 0
+        assert mask.any()
+        d_before = np.linalg.norm(hidden[mask] - ego[mask], axis=1)
+        d_after = np.linalg.norm(refined.data[mask] - ego[mask], axis=1)
+        assert np.all(d_after <= d_before + 1e-9)
+
+    def test_similarity_helper_matches_refine_output(self, rng):
+        hidden = Tensor(rng.normal(size=(4, 3)))
+        ego = Tensor(rng.normal(size=(4, 3)))
+        _, from_refine = refine_layer(hidden, ego)
+        direct = refinement_similarity(hidden, ego)
+        np.testing.assert_allclose(from_refine.data, direct.data)
+
+
+class TestLayerGCNModel:
+    def test_constructor_validation(self, tiny_split):
+        with pytest.raises(ValueError):
+            LayerGCN(tiny_split, num_layers=0)
+
+    def test_zero_dropout_disables_pruning(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, dropout_ratio=0.0)
+        assert model.edge_dropout is None
+        model.begin_epoch(1)
+        assert model.propagation_operator() is model.adjacency
+
+    def test_begin_epoch_builds_pruned_operator(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, dropout_ratio=0.3,
+                         edge_dropout="degreedrop", seed=0)
+        model.train()
+        model.begin_epoch(1)
+        pruned = model.propagation_operator()
+        assert pruned is not model.adjacency
+        assert pruned.nnz < model.adjacency.nnz
+
+    def test_inference_uses_full_graph(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, dropout_ratio=0.3, seed=0)
+        model.train()
+        model.begin_epoch(1)
+        model.eval()
+        assert model.propagation_operator() is model.adjacency
+
+    def test_readout_excludes_ego_layer(self, tiny_split):
+        """Final embeddings are the sum of refined layers only (Eq. 9)."""
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, dropout_ratio=0.0, seed=1)
+        model.eval()
+        layers, _ = model.refined_layers()
+        expected = layers[0].data + layers[1].data
+        np.testing.assert_allclose(model.propagate().data, expected, atol=1e-10)
+
+    def test_layer_similarities_recorded(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=3, dropout_ratio=0.0)
+        assert model.layer_similarity_values() is None
+        model.propagate()
+        values = model.layer_similarity_values()
+        assert values.shape == (3,)
+        assert np.all(np.abs(values) <= 1.0 + 1e-6)
+
+    def test_train_step_returns_finite_scalar(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        model.begin_epoch(1)
+        batch = next(iter(model.make_batches()))
+        loss = model.train_step(batch)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_gradients_reach_embeddings(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        model.begin_epoch(1)
+        batch = next(iter(model.make_batches()))
+        loss = model.train_step(batch)
+        loss.backward()
+        assert model.embeddings.grad is not None
+        assert np.abs(model.embeddings.grad).sum() > 0
+
+    def test_score_users_shape(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2)
+        model.eval()
+        scores = model.score_users([0, 1, 2])
+        assert scores.shape == (3, tiny_split.num_items)
+
+    def test_score_pairs_consistent_with_score_users(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2)
+        model.eval()
+        users = np.array([0, 1])
+        items = np.array([3, 5])
+        pair_scores = model.score_pairs(users, items)
+        full = model.score_users(users)
+        np.testing.assert_allclose(pair_scores, full[np.arange(2), items])
+
+    def test_recommend_excludes_train_items(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2)
+        model.eval()
+        user = int(tiny_split.train_users[0])
+        seen = {int(i) for u, i in zip(tiny_split.train_users, tiny_split.train_items)
+                if int(u) == user}
+        recommendations = model.recommend(user, k=10)
+        assert not (set(recommendations) & seen)
+
+    def test_training_improves_over_initialisation(self, tiny_split):
+        from repro.eval import evaluate_model
+
+        model = LayerGCN(tiny_split, embedding_dim=16, num_layers=2, dropout_ratio=0.1,
+                         edge_dropout="degreedrop", seed=0)
+        model.eval()
+        before = evaluate_model(model, tiny_split, ks=(20,))["recall@20"]
+        config = TrainerConfig(epochs=15, learning_rate=0.02, early_stopping_patience=0)
+        Trainer(model, tiny_split, config).fit()
+        after = evaluate_model(model, tiny_split, ks=(20,))["recall@20"]
+        assert after > before
+
+    def test_cached_eval_embeddings_reused(self, tiny_split):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2)
+        model.eval()
+        first = model.final_embeddings()
+        second = model.final_embeddings()
+        assert first is second
+        model.train()
+        assert model._cached_final is None
+
+
+class TestLayerGCNVersusLightGCN:
+    def test_final_embeddings_differ_from_lightgcn(self, tiny_split):
+        layer = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, dropout_ratio=0.0, seed=0)
+        light = LightGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        # Force identical initial embeddings for an apples-to-apples check.
+        light.embeddings.data = layer.embeddings.data.copy()
+        layer.eval()
+        light.eval()
+        assert not np.allclose(layer.propagate().data, light.propagate().data)
+
+    def test_layergcn_preserves_more_node_distinctiveness(self, mooc_split):
+        """Over-smoothing proxy: with many layers, LayerGCN's final user
+        embeddings stay more spread out (higher pairwise variance) than
+        LightGCN's mean-readout embeddings."""
+        layers = 6
+        layergcn = LayerGCN(mooc_split, embedding_dim=16, num_layers=layers,
+                            dropout_ratio=0.0, seed=0)
+        lightgcn = LightGCN(mooc_split, embedding_dim=16, num_layers=layers, seed=0)
+        lightgcn.embeddings.data = layergcn.embeddings.data.copy()
+        layergcn.eval()
+        lightgcn.eval()
+
+        def normalized_spread(model):
+            users, _ = model.user_item_embeddings()
+            normalized = users / (np.linalg.norm(users, axis=1, keepdims=True) + 1e-12)
+            return float(np.var(normalized, axis=0).sum())
+
+        assert normalized_spread(layergcn) > normalized_spread(lightgcn) * 0.5

@@ -1,0 +1,51 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.core import LayerGCN
+from repro.models import MODEL_REGISTRY, Recommender, available_models, build_model, register_model
+
+
+class TestRegistry:
+    def test_all_table2_models_available(self):
+        names = available_models()
+        for expected in ("bpr", "multivae", "ehcf", "buir", "ngcf", "lr-gccf",
+                         "lightgcn", "ultragcn", "imp-gcn", "layergcn"):
+            assert expected in names
+
+    def test_build_model_passes_kwargs(self, tiny_split):
+        model = build_model("layergcn", tiny_split, embedding_dim=8, num_layers=2,
+                            dropout_ratio=0.2)
+        assert isinstance(model, LayerGCN)
+        assert model.num_layers == 2
+        assert model.dropout_ratio == 0.2
+
+    def test_build_model_case_insensitive(self, tiny_split):
+        model = build_model("LightGCN", tiny_split, embedding_dim=8)
+        assert model.name == "lightgcn"
+
+    def test_unknown_model_rejected(self, tiny_split):
+        with pytest.raises(KeyError):
+            build_model("deepfm", tiny_split)
+
+    def test_register_custom_model(self, tiny_split):
+        class Dummy(Recommender):
+            name = "dummy"
+
+        register_model("dummy-test-model", Dummy)
+        try:
+            assert "dummy-test-model" in available_models()
+            assert isinstance(build_model("dummy-test-model", tiny_split, embedding_dim=4), Dummy)
+        finally:
+            MODEL_REGISTRY.pop("dummy-test-model", None)
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(KeyError):
+            register_model("lightgcn", LayerGCN)
+
+    def test_register_with_overwrite(self, tiny_split):
+        original = MODEL_REGISTRY["bpr"]
+        try:
+            register_model("bpr", original, overwrite=True)
+        finally:
+            MODEL_REGISTRY["bpr"] = original

@@ -1,0 +1,107 @@
+"""Property-based tests (hypothesis) for the autograd substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.autograd.functional import log_softmax, row_cosine_similarity, softmax
+
+finite_floats = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                          allow_infinity=False, width=64)
+
+
+def matrices(max_rows=6, max_cols=6, min_value=-10.0, max_value=10.0):
+    return st.integers(1, max_rows).flatmap(
+        lambda rows: st.integers(1, max_cols).flatmap(
+            lambda cols: arrays(np.float64, (rows, cols),
+                                elements=st.floats(min_value=min_value, max_value=max_value,
+                                                   allow_nan=False, allow_infinity=False,
+                                                   width=64))))
+
+
+class TestAlgebraicIdentities:
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_addition_commutes(self, values):
+        a = Tensor(values)
+        b = Tensor(values * 0.5 + 1.0)
+        np.testing.assert_allclose((a + b).data, (b + a).data)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_double_negation_is_identity(self, values):
+        np.testing.assert_allclose((-(-Tensor(values))).data, values)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_sum_of_mean_relation(self, values):
+        t = Tensor(values)
+        np.testing.assert_allclose(t.mean().item() * values.size, t.sum().item(),
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_transpose_involution(self, values):
+        np.testing.assert_allclose(Tensor(values).T.T.data, values)
+
+    @given(matrices(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_exp_log_inverse(self, values):
+        np.testing.assert_allclose(Tensor(values).log().exp().data, values, rtol=1e-8)
+
+
+class TestGradientProperties:
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_gradient_is_ones(self, values):
+        t = Tensor(values, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(values))
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_linear_combination_gradient_scales(self, values):
+        t = Tensor(values, requires_grad=True)
+        (t * 3.0).sum().backward()
+        np.testing.assert_allclose(t.grad, np.full_like(values, 3.0))
+
+    @given(matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_gradient_accumulation_is_additive(self, values):
+        t = Tensor(values, requires_grad=True)
+        (t * 2.0).sum().backward()
+        first = t.grad.copy()
+        (t * 2.0).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * first)
+
+
+class TestStability:
+    @given(matrices(min_value=-500.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_softmax_rows_sum_to_one_for_extreme_logits(self, values):
+        result = softmax(Tensor(values), axis=1)
+        assert np.isfinite(result.data).all()
+        np.testing.assert_allclose(result.data.sum(axis=1), np.ones(values.shape[0]), atol=1e-8)
+
+    @given(matrices(min_value=-500.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_log_softmax_always_non_positive(self, values):
+        result = log_softmax(Tensor(values), axis=1)
+        assert np.isfinite(result.data).all()
+        assert np.all(result.data <= 1e-9)
+
+    @given(matrices(min_value=-500.0, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_softplus_finite_everywhere(self, values):
+        assert np.isfinite(Tensor(values).softplus().data).all()
+
+    @given(matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_cosine_similarity_bounded(self, values):
+        ego = Tensor(np.roll(values, 1, axis=0))
+        sims = row_cosine_similarity(Tensor(values), ego)
+        assert np.isfinite(sims.data).all()
+        assert np.all(sims.data <= 1.0 + 1e-6)
+        assert np.all(sims.data >= -1.0 - 1e-6)

@@ -1,0 +1,91 @@
+"""Property-based tests for the graph substrate and metrics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import ndcg_at_k, recall_at_k
+from repro.graph import BipartiteGraph, DegreeDrop, DropEdge, symmetric_normalize
+
+
+@st.composite
+def interaction_lists(draw, max_users=12, max_items=12, max_edges=60):
+    num_users = draw(st.integers(2, max_users))
+    num_items = draw(st.integers(2, max_items))
+    num_edges = draw(st.integers(1, max_edges))
+    users = draw(st.lists(st.integers(0, num_users - 1), min_size=num_edges, max_size=num_edges))
+    items = draw(st.lists(st.integers(0, num_items - 1), min_size=num_edges, max_size=num_edges))
+    return num_users, num_items, users, items
+
+
+class TestGraphProperties:
+    @given(interaction_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_sums_equal_edge_count(self, data):
+        num_users, num_items, users, items = data
+        graph = BipartiteGraph(num_users, num_items, users, items)
+        assert graph.user_degrees().sum() == graph.num_edges
+        assert graph.item_degrees().sum() == graph.num_edges
+
+    @given(interaction_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_adjacency_symmetric_and_bipartite(self, data):
+        num_users, num_items, users, items = data
+        graph = BipartiteGraph(num_users, num_items, users, items)
+        dense = graph.adjacency_matrix().toarray()
+        np.testing.assert_allclose(dense, dense.T)
+        assert dense[:num_users, :num_users].sum() == 0
+        assert dense[num_users:, num_users:].sum() == 0
+
+    @given(interaction_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_normalized_adjacency_spectrum_bounded(self, data):
+        num_users, num_items, users, items = data
+        graph = BipartiteGraph(num_users, num_items, users, items)
+        normalized = symmetric_normalize(graph.adjacency_matrix()).toarray()
+        eigenvalues = np.linalg.eigvalsh(normalized)
+        assert np.all(np.abs(eigenvalues) <= 1.0 + 1e-8)
+
+    @given(interaction_lists(), st.floats(0.0, 0.8), st.integers(0, 2 ** 16))
+    @settings(max_examples=50, deadline=None)
+    def test_pruning_keeps_expected_count_and_valid_indices(self, data, ratio, seed):
+        num_users, num_items, users, items = data
+        graph = BipartiteGraph(num_users, num_items, users, items)
+        for sampler_cls in (DropEdge, DegreeDrop):
+            sampler = sampler_cls(dropout_ratio=ratio, rng=np.random.default_rng(seed))
+            kept = sampler.sample_edges(graph)
+            assert kept.size == sampler.num_kept(graph.num_edges)
+            if kept.size:
+                assert kept.min() >= 0 and kept.max() < graph.num_edges
+                assert len(set(kept.tolist())) == kept.size
+
+
+class TestMetricProperties:
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=20, unique=True),
+           st.sets(st.integers(0, 50), min_size=1, max_size=10),
+           st.integers(1, 20))
+    @settings(max_examples=100, deadline=None)
+    def test_metrics_bounded_in_unit_interval(self, ranked, relevant, k):
+        recall = recall_at_k(ranked, relevant, k)
+        ndcg = ndcg_at_k(ranked, relevant, k)
+        assert 0.0 <= recall <= 1.0
+        assert 0.0 <= ndcg <= 1.0
+
+    @given(st.sets(st.integers(0, 30), min_size=1, max_size=10), st.integers(1, 40))
+    @settings(max_examples=100, deadline=None)
+    def test_perfect_ranking_maximises_both_metrics(self, relevant, k):
+        ranked = sorted(relevant) + [item for item in range(31, 60)]
+        recall = recall_at_k(ranked, relevant, k)
+        ndcg = ndcg_at_k(ranked, relevant, k)
+        if k >= len(relevant):
+            assert recall == 1.0
+            assert abs(ndcg - 1.0) < 1e-9
+        else:
+            assert recall <= 1.0
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=20, unique=True),
+           st.sets(st.integers(0, 50), min_size=1, max_size=10),
+           st.integers(1, 19))
+    @settings(max_examples=100, deadline=None)
+    def test_metrics_monotone_in_k(self, ranked, relevant, k):
+        assert recall_at_k(ranked, relevant, k + 1) >= recall_at_k(ranked, relevant, k)

@@ -1,0 +1,108 @@
+"""Tests for the loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.training import bce_loss, bpr_loss, l2_regularization, multinomial_nll, weighted_mse_loss
+
+from ..helpers import check_gradient
+
+
+class TestBprLoss:
+    def test_value_matches_formula(self):
+        pos = Tensor([2.0, 1.0])
+        neg = Tensor([1.0, 1.0])
+        expected = -np.mean(np.log(1.0 / (1.0 + np.exp(-np.array([1.0, 0.0])))))
+        assert bpr_loss(pos, neg).item() == pytest.approx(expected)
+
+    def test_perfect_separation_gives_small_loss(self):
+        loss = bpr_loss(Tensor([20.0]), Tensor([-20.0]))
+        assert loss.item() < 1e-6
+
+    def test_reversed_ranking_gives_large_loss(self):
+        loss = bpr_loss(Tensor([-20.0]), Tensor([20.0]))
+        assert loss.item() > 10.0
+
+    def test_gradient_pushes_scores_apart(self, rng):
+        check_gradient(lambda t: bpr_loss(t, Tensor(np.zeros(4))), rng.normal(size=(4,)))
+
+    def test_symmetric_scores_give_log2(self):
+        loss = bpr_loss(Tensor([0.0]), Tensor([0.0]))
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+
+class TestL2Regularization:
+    def test_value(self):
+        loss = l2_regularization(Tensor([1.0, 2.0]), Tensor([3.0]), coefficient=0.5)
+        assert loss.item() == pytest.approx(0.5 * (1 + 4 + 9))
+
+    def test_normalize_by_batch(self):
+        loss = l2_regularization(Tensor([2.0, 2.0]), coefficient=1.0, normalize_by=2)
+        assert loss.item() == pytest.approx(4.0)
+
+    def test_requires_tensors(self):
+        with pytest.raises(ValueError):
+            l2_regularization(coefficient=0.1)
+
+    def test_gradient(self, rng):
+        check_gradient(lambda t: l2_regularization(t, coefficient=0.3), rng.normal(size=(3, 2)))
+
+
+class TestBceLoss:
+    def test_confident_correct_predictions_give_small_loss(self):
+        scores = Tensor([10.0, -10.0])
+        labels = np.array([1.0, 0.0])
+        assert bce_loss(scores, labels).item() < 1e-3
+
+    def test_confident_wrong_predictions_give_large_loss(self):
+        scores = Tensor([-10.0, 10.0])
+        labels = np.array([1.0, 0.0])
+        assert bce_loss(scores, labels).item() > 5.0
+
+    def test_weighted_variant(self):
+        scores = Tensor([0.0, 0.0])
+        labels = np.array([1.0, 1.0])
+        unweighted = bce_loss(scores, labels).item()
+        weighted = bce_loss(scores, labels, weights=np.array([2.0, 2.0])).item()
+        assert weighted == pytest.approx(2 * unweighted)
+
+    def test_gradient(self, rng):
+        labels = (rng.random(5) > 0.5).astype(float)
+        check_gradient(lambda t: bce_loss(t, labels), rng.normal(size=(5,)))
+
+
+class TestMultinomialNLL:
+    def test_uniform_logits_value(self):
+        logits = Tensor(np.zeros((2, 4)))
+        targets = np.array([[1.0, 0, 0, 0], [1.0, 1.0, 0, 0]])
+        # log-softmax of uniform logits is -log(4) everywhere.
+        expected = (np.log(4.0) * 1 + np.log(4.0) * 2) / 2
+        assert multinomial_nll(logits, targets).item() == pytest.approx(expected)
+
+    def test_concentrating_mass_on_targets_reduces_loss(self):
+        targets = np.array([[1.0, 0.0, 0.0]])
+        flat = multinomial_nll(Tensor(np.zeros((1, 3))), targets).item()
+        peaked = multinomial_nll(Tensor(np.array([[5.0, 0.0, 0.0]])), targets).item()
+        assert peaked < flat
+
+    def test_gradient(self, rng):
+        targets = (rng.random((3, 6)) > 0.6).astype(float)
+        check_gradient(lambda t: multinomial_nll(t, targets), rng.normal(size=(3, 6)))
+
+
+class TestWeightedMse:
+    def test_positive_entries_weighted_higher(self):
+        targets = np.array([[1.0, 0.0]])
+        predictions = Tensor(np.array([[0.0, 1.0]]))
+        loss = weighted_mse_loss(predictions, targets, positive_weight=1.0, negative_weight=0.1)
+        # error on positive weighs 1.0, error on negative weighs 0.1
+        assert loss.item() == pytest.approx((1.0 * 1.0 + 0.1 * 1.0) / 2)
+
+    def test_zero_loss_on_exact_reconstruction(self):
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert weighted_mse_loss(Tensor(targets.copy()), targets).item() == 0.0
+
+    def test_gradient(self, rng):
+        targets = (rng.random((2, 4)) > 0.5).astype(float)
+        check_gradient(lambda t: weighted_mse_loss(t, targets), rng.normal(size=(2, 4)))

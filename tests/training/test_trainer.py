@@ -1,0 +1,133 @@
+"""Tests for the Trainer, TrainerConfig and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.models import BprMF, build_model
+from repro.training import (
+    LayerSimilarityRecorder,
+    LayerWeightRecorder,
+    LossRecorder,
+    Trainer,
+    TrainerConfig,
+)
+
+
+class TestTrainerBasics:
+    def test_training_reduces_loss(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=16, seed=0)
+        config = TrainerConfig(epochs=10, learning_rate=0.01, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_history_records_every_epoch(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=4, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert history.num_epochs_run == 4
+        assert len(history.batch_losses) == 4
+        assert all(len(batch) > 0 for batch in history.batch_losses)
+
+    def test_validation_scores_recorded(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=3, eval_every=1, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert set(history.validation_scores) == {1, 2, 3}
+        assert history.best_epoch in {1, 2, 3}
+
+    def test_eval_every_skips_epochs(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=4, eval_every=2, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert set(history.validation_scores) == {2, 4}
+
+    def test_early_stopping_halts_training(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=100, learning_rate=1e-6, early_stopping_patience=2)
+        history = Trainer(model, tiny_split, config).fit()
+        assert history.num_epochs_run < 100
+        assert history.stopped_early
+
+    def test_restore_best_reinstates_best_weights(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=6, early_stopping_patience=0, restore_best=True)
+        trainer = Trainer(model, tiny_split, config)
+        history = trainer.fit()
+        # After fit() the model must be in eval mode and usable for scoring.
+        assert not model.training
+        assert history.best_epoch >= 1
+
+    def test_model_set_to_eval_after_fit(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        Trainer(model, tiny_split, TrainerConfig(epochs=1)).fit()
+        assert not model.training
+
+    def test_epoch_loss_sum_helper(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        history = Trainer(model, tiny_split, TrainerConfig(epochs=1)).fit()
+        assert history.epoch_loss_sum(0) == pytest.approx(np.sum(history.batch_losses[0]))
+
+
+class TestTrainerConfigValidation:
+    def test_unknown_optimizer_rejected(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8)
+        with pytest.raises(ValueError):
+            Trainer(model, tiny_split, TrainerConfig(optimizer="rmsprop"))
+
+    def test_sgd_optimizer_supported(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8)
+        history = Trainer(model, tiny_split, TrainerConfig(optimizer="sgd", epochs=1)).fit()
+        assert history.num_epochs_run == 1
+
+    def test_malformed_validation_metric_rejected(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8)
+        with pytest.raises(ValueError):
+            Trainer(model, tiny_split, TrainerConfig(validation_metric="recall"))
+
+    def test_ndcg_validation_metric(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8)
+        config = TrainerConfig(epochs=1, validation_metric="ndcg@10")
+        history = Trainer(model, tiny_split, config).fit()
+        assert 1 in history.validation_scores
+
+
+class TestCallbacks:
+    def test_callbacks_called_every_epoch(self, tiny_split):
+        calls = []
+        model = BprMF(tiny_split, embedding_dim=8)
+        config = TrainerConfig(epochs=3, early_stopping_patience=0)
+        Trainer(model, tiny_split, config,
+                callbacks=[lambda epoch, m, h: calls.append(epoch)]).fit()
+        assert calls == [1, 2, 3]
+
+    def test_loss_recorder(self, tiny_split):
+        recorder = LossRecorder()
+        model = BprMF(tiny_split, embedding_dim=8)
+        Trainer(model, tiny_split, TrainerConfig(epochs=2, early_stopping_patience=0),
+                callbacks=[recorder]).fit()
+        assert len(recorder.epoch_loss_sums) == 2
+        assert list(recorder.as_dict()) == [1, 2]
+
+    def test_layer_weight_recorder_with_learnable_lightgcn(self, tiny_split):
+        recorder = LayerWeightRecorder()
+        model = build_model("lightgcn-learnable", tiny_split, embedding_dim=8, num_layers=2)
+        Trainer(model, tiny_split, TrainerConfig(epochs=2, early_stopping_patience=0),
+                callbacks=[recorder]).fit()
+        trajectory = recorder.as_array()
+        assert trajectory.shape == (2, 3)
+        np.testing.assert_allclose(trajectory.sum(axis=1), np.ones(2), atol=1e-8)
+
+    def test_layer_weight_recorder_ignores_models_without_weights(self, tiny_split):
+        recorder = LayerWeightRecorder()
+        model = BprMF(tiny_split, embedding_dim=8)
+        Trainer(model, tiny_split, TrainerConfig(epochs=1), callbacks=[recorder]).fit()
+        assert recorder.as_array().size == 0
+
+    def test_layer_similarity_recorder_with_layergcn(self, tiny_split):
+        recorder = LayerSimilarityRecorder()
+        model = build_model("layergcn", tiny_split, embedding_dim=8, num_layers=3,
+                            dropout_ratio=0.1)
+        Trainer(model, tiny_split, TrainerConfig(epochs=2, early_stopping_patience=0),
+                callbacks=[recorder]).fit()
+        trajectory = recorder.as_array()
+        assert trajectory.shape == (2, 3)

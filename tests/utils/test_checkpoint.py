@@ -1,0 +1,76 @@
+"""Tests for checkpointing and seeding utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import LayerGCN
+from repro.models import BprMF, LightGCN
+from repro.utils import checkpoint_metadata, load_checkpoint, save_checkpoint, seed_everything
+
+
+class TestCheckpoint:
+    def test_round_trip_preserves_scores(self, tiny_split, tmp_path):
+        model = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        model.eval()
+        scores = model.score_users([0, 1])
+
+        path = save_checkpoint(model, tmp_path / "model")
+        assert path.suffix == ".npz"
+
+        clone = LayerGCN(tiny_split, embedding_dim=8, num_layers=2, seed=123)
+        metadata = load_checkpoint(clone, path)
+        clone.eval()
+        np.testing.assert_allclose(clone.score_users([0, 1]), scores)
+        assert metadata["model_class"] == "LayerGCN"
+
+    def test_metadata_contents(self, tiny_split, tmp_path):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        path = save_checkpoint(model, tmp_path / "bpr.npz",
+                               extra_metadata={"dataset": "tiny"})
+        metadata = checkpoint_metadata(path)
+        assert metadata["model_name"] == "bpr"
+        assert metadata["embedding_dim"] == 8
+        assert metadata["extra"]["dataset"] == "tiny"
+        assert metadata["num_parameters"] == model.num_parameters()
+
+    def test_class_mismatch_rejected(self, tiny_split, tmp_path):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        path = save_checkpoint(model, tmp_path / "bpr.npz")
+        other = LightGCN(tiny_split, embedding_dim=8, num_layers=2)
+        with pytest.raises(ValueError):
+            load_checkpoint(other, path)
+
+    def test_shape_mismatch_rejected_even_without_strict_class(self, tiny_split, tmp_path):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        path = save_checkpoint(model, tmp_path / "bpr.npz")
+        bigger = BprMF(tiny_split, embedding_dim=16, seed=0)
+        with pytest.raises(ValueError):
+            load_checkpoint(bigger, path, strict_class=False)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, array=np.ones(3))
+        with pytest.raises(KeyError):
+            checkpoint_metadata(bogus)
+
+    def test_creates_parent_directories(self, tiny_split, tmp_path):
+        model = BprMF(tiny_split, embedding_dim=8)
+        path = save_checkpoint(model, tmp_path / "nested" / "dir" / "model")
+        assert path.exists()
+
+
+class TestSeeding:
+    def test_returns_generator(self):
+        rng = seed_everything(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_same_seed_same_draws(self):
+        a = seed_everything(11).random(5)
+        b = seed_everything(11).random(5)
+        np.testing.assert_allclose(a, b)
+
+    def test_seeds_global_numpy_state(self):
+        seed_everything(3)
+        first = np.random.random()
+        seed_everything(3)
+        assert np.random.random() == pytest.approx(first)

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_parser_has_all_subcommands(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("train", "experiment", "models", "datasets", "experiments"):
+            assert command in text
+
+
+class TestListingCommands:
+    def test_models_listing(self, capsys):
+        assert main(["models"]) == 0
+        output = capsys.readouterr().out
+        assert "layergcn" in output and "lightgcn" in output
+
+    def test_datasets_listing(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("mooc", "games", "food", "yelp"):
+            assert name in output
+
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        output = capsys.readouterr().out
+        assert "table2" in output and "fig6" in output
+
+
+class TestTrainCommand:
+    def test_train_json_output(self, capsys, tmp_path):
+        code = main([
+            "train", "--model", "bpr", "--dataset", "tiny", "--epochs", "2",
+            "--embedding-dim", "8", "--json",
+            "--checkpoint", str(tmp_path / "bpr-checkpoint"),
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["model"] == "bpr"
+        assert "recall@20" in payload["metrics"]
+        assert payload["epochs_run"] >= 1
+        assert payload["checkpoint"].endswith(".npz")
+
+    def test_train_layergcn_plain_output(self, capsys):
+        code = main([
+            "train", "--model", "layergcn", "--dataset", "tiny", "--epochs", "1",
+            "--embedding-dim", "8", "--num-layers", "2", "--scale", "1.0",
+        ])
+        assert code == 0
+        assert "test metrics" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_run_table1(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "mooc" in output
+
+    def test_run_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        output = capsys.readouterr().out
+        assert "mooc" in output
+
+    def test_unknown_identifier(self):
+        with pytest.raises(KeyError):
+            main(["experiment", "table42"])
