@@ -1,0 +1,152 @@
+"""Benchmark — inference-engine throughput on the Table-2 configuration.
+
+Times full-ranking evaluation (Recall@{10,20,50} / NDCG@{10,20,50}, the
+Table II protocol) on the synthetic Table-2 presets twice:
+
+* the **reference** path — the preserved per-user-loop evaluator
+  (:class:`repro.eval.ReferenceRankingEvaluator`), and
+* the **engine** path — the vectorised :class:`repro.eval.RankingEvaluator`
+  routed through :mod:`repro.engine` (frozen inference index, flat-index
+  masking, batched cumulative-DCG metrics).
+
+Asserts that the two paths agree within 1e-9 on every metric and that the
+engine path is at least ``MIN_SPEEDUP``× faster.  Environment knobs:
+
+* ``REPRO_BENCH_DATASET`` — override the evaluated presets (e.g. ``tiny``
+  for the CI smoke run; speedup is then reported but not asserted, since
+  constant overheads dominate on toy sizes).
+
+Run stand-alone with ``python benchmarks/bench_engine_throughput.py`` or via
+pytest: ``pytest benchmarks/bench_engine_throughput.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import chronological_split, dataset_preset  # noqa: E402
+from repro.eval import RankingEvaluator, ReferenceRankingEvaluator  # noqa: E402
+from repro.models import LightGCN  # noqa: E402
+
+# Table-2 protocol: full ranking at K in {10, 20, 50} on Recall and NDCG.
+KS = (10, 20, 50)
+METRICS = ("recall", "ndcg")
+TABLE2_DATASETS = ("mooc", "games")
+MIN_SPEEDUP = 5.0
+PARITY_ATOL = 1e-9
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return TABLE2_DATASETS
+
+
+def _assert_speedup():
+    """Only assert the 5x floor on the real Table-2 presets."""
+    return os.environ.get("REPRO_BENCH_DATASET") is None
+
+
+def _time(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_engine_throughput(datasets=None, embedding_dim: int = 64,
+                          num_layers: int = 3, repeats: int = 3):
+    """Measure both evaluation paths; returns one row per dataset."""
+    rows = []
+    for name in (datasets or _datasets()):
+        split = chronological_split(dataset_preset(name, seed=0))
+        model = LightGCN(split, embedding_dim=embedding_dim,
+                         num_layers=num_layers, seed=0)
+        model.eval()
+
+        engine_eval = RankingEvaluator(split, ks=KS, metrics=METRICS)
+        reference_eval = ReferenceRankingEvaluator(split, ks=KS, metrics=METRICS)
+
+        engine_result = engine_eval.evaluate(model)
+        reference_result = reference_eval.evaluate(model)
+        max_diff = max(
+            abs(engine_result.values[key] - reference_result.values[key])
+            for key in reference_result.values
+        )
+
+        engine_time = _time(lambda: engine_eval.evaluate(model), repeats)
+        reference_time = _time(lambda: reference_eval.evaluate(model), max(1, repeats - 2))
+
+        rows.append({
+            "dataset": name,
+            "users": engine_result.num_users_evaluated,
+            "items": split.num_items,
+            "reference_ms": reference_time * 1e3,
+            "engine_ms": engine_time * 1e3,
+            "speedup": reference_time / engine_time,
+            "max_metric_diff": max_diff,
+            "recall@20": engine_result.values["recall@20"],
+            "ndcg@20": engine_result.values["ndcg@20"],
+        })
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'users':>6} {'items':>6} {'ref ms':>9} "
+              f"{'engine ms':>10} {'speedup':>8} {'max diff':>10}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['users']:>6d} {row['items']:>6d} "
+            f"{row['reference_ms']:>9.2f} {row['engine_ms']:>10.2f} "
+            f"{row['speedup']:>7.1f}x {row['max_metric_diff']:>10.2e}")
+    return "\n".join(lines)
+
+
+def _check(rows) -> None:
+    for row in rows:
+        assert np.isfinite(row["max_metric_diff"])
+        assert row["max_metric_diff"] <= PARITY_ATOL, (
+            f"{row['dataset']}: engine metrics diverge from the reference "
+            f"path by {row['max_metric_diff']:.2e} (> {PARITY_ATOL})")
+    if _assert_speedup():
+        for row in rows:
+            assert row["speedup"] >= MIN_SPEEDUP, (
+                f"{row['dataset']}: engine evaluation only "
+                f"{row['speedup']:.1f}x faster (target >= {MIN_SPEEDUP}x)")
+
+
+def test_engine_throughput():
+    rows = run_engine_throughput()
+    try:
+        from .conftest import print_block
+        print_block("Engine throughput — vectorised vs reference evaluation",
+                    format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _check(rows)
+
+
+def main() -> int:
+    rows = run_engine_throughput()
+    print(format_rows(rows))
+    _check(rows)
+    print("OK: metric parity within 1e-9"
+          + (f", speedup >= {MIN_SPEEDUP}x" if _assert_speedup() else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -50,9 +50,16 @@ def main() -> None:
     print("test metrics:", result.format_row(["recall@10", "recall@20", "recall@50",
                                               "ndcg@10", "ndcg@20", "ndcg@50"]))
 
-    # 5. Top-K recommendations for a few users (training items excluded).
-    for user in range(3):
-        print(f"user {user}: top-5 recommended items -> {model.recommend(user, k=5)}")
+    # 5. Serving: the engine's RecommendationService batches top-K requests,
+    #    excludes training items through a precomputed index and caches
+    #    repeated per-user requests in an LRU.
+    service = model.inference_service()
+    batch_top5 = service.top_k(range(3), k=5)
+    for user, items in enumerate(batch_top5):
+        print(f"user {user}: top-5 recommended items -> {[int(i) for i in items]}")
+    service.recommend(0, k=5)
+    service.recommend(0, k=5)  # second call is served from the LRU cache
+    print(f"service state: {service!r}")
 
 
 if __name__ == "__main__":

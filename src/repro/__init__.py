@@ -9,11 +9,19 @@ The package is organised as:
 * :mod:`repro.models` — every baseline from Table II.
 * :mod:`repro.training` — losses, trainer with early stopping, callbacks.
 * :mod:`repro.eval` — Recall@K / NDCG@K, full-ranking protocol, significance tests.
+* :mod:`repro.engine` — serving-grade inference: propagation engine, frozen
+  inference indexes and the batched recommendation service.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
 
 from .core import LayerGCN
 from .data import DataSplit, InteractionDataset, dataset_preset, prepare_split
+from .engine import (
+    InferenceIndex,
+    PropagationEngine,
+    RecommendationService,
+    UserItemIndex,
+)
 from .eval import EvaluationResult, RankingEvaluator, evaluate_model
 from .models import available_models, build_model
 from .training import Trainer, TrainerConfig
@@ -26,6 +34,10 @@ __all__ = [
     "InteractionDataset",
     "dataset_preset",
     "prepare_split",
+    "InferenceIndex",
+    "PropagationEngine",
+    "RecommendationService",
+    "UserItemIndex",
     "EvaluationResult",
     "RankingEvaluator",
     "evaluate_model",

@@ -6,6 +6,11 @@ Every GCN model in this library performs the propagation step
 dense, learnable embedding matrix.  Because the adjacency never receives a
 gradient, the backward pass only needs the transpose product
 :math:`\\hat{A}^\\top G`.
+
+The machinery (CSR storage, cached transpose, dtype policy, buffer reuse)
+lives in :class:`repro.engine.PropagationEngine`; this module keeps the
+historical autograd-level names as thin aliases so existing code and tests
+keep working.
 """
 
 from __future__ import annotations
@@ -15,57 +20,31 @@ from typing import Union
 import numpy as np
 import scipy.sparse as sp
 
+from ..engine.propagation import PropagationEngine
 from .tensor import Tensor
 
 __all__ = ["sparse_matmul", "SparseTensor"]
 
 
-class SparseTensor:
-    """Thin wrapper around a ``scipy.sparse`` matrix used as a propagation operator.
+class SparseTensor(PropagationEngine):
+    """Historical name for the propagation operator (see ``repro.engine``).
 
-    The wrapper stores the matrix in CSR format (fast row-slicing and fast
-    matrix-vector products) and caches its transpose so that repeated backward
-    passes do not re-transpose on every step.
+    Retained as a subclass so ``isinstance`` checks and pickled references
+    to the old class keep working; new code should construct
+    :class:`repro.engine.PropagationEngine` directly.
     """
 
-    def __init__(self, matrix: Union[sp.spmatrix, np.ndarray]) -> None:
-        if not sp.issparse(matrix):
-            matrix = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
-        self._matrix = matrix.tocsr().astype(np.float64)
-        self._transpose: sp.csr_matrix = None
 
-    @property
-    def shape(self):
-        return self._matrix.shape
-
-    @property
-    def nnz(self) -> int:
-        return self._matrix.nnz
-
-    @property
-    def matrix(self) -> sp.csr_matrix:
-        return self._matrix
-
-    def transpose_matrix(self) -> sp.csr_matrix:
-        if self._transpose is None:
-            self._transpose = self._matrix.transpose().tocsr()
-        return self._transpose
-
-    def to_dense(self) -> np.ndarray:
-        return self._matrix.toarray()
-
-    def __repr__(self) -> str:
-        return f"SparseTensor(shape={self.shape}, nnz={self.nnz})"
-
-
-def sparse_matmul(adjacency: Union[SparseTensor, sp.spmatrix], dense: Tensor) -> Tensor:
+def sparse_matmul(adjacency: Union[PropagationEngine, sp.spmatrix, np.ndarray],
+                  dense: Tensor) -> Tensor:
     """Differentiable product ``adjacency @ dense`` with a fixed sparse operand.
 
     Parameters
     ----------
     adjacency:
-        The (non-learnable) sparse propagation matrix, shape ``(n, n)`` or
-        ``(m, n)``.
+        The (non-learnable) sparse propagation matrix — a
+        :class:`PropagationEngine`, scipy sparse matrix or dense array of
+        shape ``(n, n)`` or ``(m, n)``.
     dense:
         Learnable dense matrix of shape ``(n, d)``.
 
@@ -74,12 +53,6 @@ def sparse_matmul(adjacency: Union[SparseTensor, sp.spmatrix], dense: Tensor) ->
     Tensor of shape ``(m, d)`` whose backward pass propagates
     ``adjacency.T @ grad`` to ``dense``.
     """
-    if not isinstance(adjacency, SparseTensor):
-        adjacency = SparseTensor(adjacency)
-    data = adjacency.matrix @ dense.data
-
-    def backward(grad: np.ndarray) -> None:
-        if dense.requires_grad:
-            dense._accumulate(adjacency.transpose_matrix() @ grad)
-
-    return Tensor._make(data, (dense,), backward)
+    if not isinstance(adjacency, PropagationEngine):
+        adjacency = PropagationEngine(adjacency)
+    return adjacency.apply(dense)

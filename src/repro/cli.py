@@ -1,8 +1,10 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
-Three subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 * ``train``      — train one model on one dataset preset (or a CSV) and report metrics.
+* ``recommend``  — train (or load a checkpoint) and serve top-K recommendations
+                   through the :mod:`repro.engine` RecommendationService.
 * ``experiment`` — run one of the paper's tables/figures by identifier.
 * ``models`` / ``datasets`` / ``experiments`` — list what is available.
 """
@@ -14,13 +16,15 @@ import json
 import sys
 from typing import List, Optional
 
+import numpy as np
+
 from . import __version__
 from .data import list_presets, prepare_split
 from .eval import evaluate_model
 from .experiments import list_experiments, resolve_scale, run_experiment
 from .models import available_models, build_model
 from .training import Trainer, TrainerConfig
-from .utils import save_checkpoint
+from .utils import load_checkpoint, save_checkpoint
 
 __all__ = ["main", "build_parser"]
 
@@ -49,6 +53,27 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint", default=None, help="write trained weights to this .npz path")
     train.add_argument("--json", action="store_true", help="emit metrics as JSON")
 
+    recommend = subparsers.add_parser(
+        "recommend", help="serve top-K recommendations via the inference engine")
+    recommend.add_argument("--model", default="layergcn", help="registered model name")
+    recommend.add_argument("--dataset", default="games", help="dataset preset name")
+    recommend.add_argument("--csv", default=None, help="path to a user,item,timestamp CSV")
+    recommend.add_argument("--embedding-dim", type=int, default=64)
+    recommend.add_argument("--num-layers", type=int, default=4)
+    recommend.add_argument("--epochs", type=int, default=10,
+                           help="training epochs before serving (ignored with --checkpoint)")
+    recommend.add_argument("--learning-rate", type=float, default=0.005)
+    recommend.add_argument("--scale", type=float, default=1.0)
+    recommend.add_argument("--seed", type=int, default=0)
+    recommend.add_argument("--checkpoint", default=None,
+                           help="load trained weights from this .npz instead of training")
+    recommend.add_argument("--users", default="0,1,2",
+                           help="comma-separated user ids to recommend for")
+    recommend.add_argument("-k", "--top-k", type=int, default=10, dest="top_k")
+    recommend.add_argument("--include-train", action="store_true",
+                           help="do not exclude items seen during training")
+    recommend.add_argument("--json", action="store_true", help="emit results as JSON")
+
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
     experiment.add_argument("identifier", help="e.g. table3, fig6 (see 'repro experiments')")
     experiment.add_argument("--scale", default="quick", choices=["quick", "full"])
@@ -59,17 +84,27 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+# Models that accept a num_layers argument (the LayerGCN family plus the
+# layered baselines); the LayerGCN family additionally takes dropout options.
+LAYERED_MODELS = ("layergcn", "content-layergcn", "ssl-layergcn", "lightgcn",
+                  "lightgcn-learnable", "ngcf", "lr-gccf", "imp-gcn")
+LAYERGCN_FAMILY = ("layergcn", "content-layergcn", "ssl-layergcn")
+
+
+def _model_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {"embedding_dim": args.embedding_dim, "seed": args.seed}
+    if args.model in LAYERED_MODELS:
+        kwargs["num_layers"] = args.num_layers
+    if args.model in LAYERGCN_FAMILY and hasattr(args, "dropout_ratio"):
+        kwargs["dropout_ratio"] = args.dropout_ratio
+        kwargs["edge_dropout"] = args.edge_dropout
+    return kwargs
+
+
 def _command_train(args: argparse.Namespace) -> int:
     split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
                           source_csv=args.csv)
-    model_kwargs = {"embedding_dim": args.embedding_dim, "seed": args.seed}
-    if args.model in ("layergcn", "content-layergcn", "ssl-layergcn", "lightgcn",
-                      "lightgcn-learnable", "ngcf", "lr-gccf", "imp-gcn"):
-        model_kwargs["num_layers"] = args.num_layers
-    if args.model in ("layergcn", "content-layergcn", "ssl-layergcn"):
-        model_kwargs["dropout_ratio"] = args.dropout_ratio
-        model_kwargs["edge_dropout"] = args.edge_dropout
-    model = build_model(args.model, split, **model_kwargs)
+    model = build_model(args.model, split, **_model_kwargs(args))
 
     config = TrainerConfig(learning_rate=args.learning_rate, epochs=args.epochs,
                            early_stopping_patience=10, verbose=not args.json)
@@ -95,6 +130,52 @@ def _command_train(args: argparse.Namespace) -> int:
         print("test metrics:", result.format_row(sorted(result.values)))
         if args.checkpoint:
             print(f"checkpoint written to {payload['checkpoint']}")
+    return 0
+
+
+def _command_recommend(args: argparse.Namespace) -> int:
+    # Validate cheap arguments before any dataset/model/training work.
+    if args.top_k <= 0:
+        raise SystemExit("error: -k/--top-k must be a positive integer")
+    try:
+        users = [int(u) for u in args.users.split(",") if u.strip() != ""]
+    except ValueError:
+        raise SystemExit(f"error: --users must be comma-separated integers, got {args.users!r}")
+    if not users:
+        raise SystemExit("error: --users must name at least one user id")
+
+    split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
+                          source_csv=args.csv)
+    bad = [u for u in users if not 0 <= u < split.num_users]
+    if bad:
+        raise SystemExit(f"error: user ids {bad} outside [0, {split.num_users})")
+    model = build_model(args.model, split, **_model_kwargs(args))
+
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+    elif args.epochs > 0:
+        config = TrainerConfig(learning_rate=args.learning_rate, epochs=args.epochs,
+                               early_stopping_patience=5, verbose=False)
+        Trainer(model, split, config).fit()
+    model.eval()
+
+    service = model.inference_service()
+    top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
+                        exclude_train=not args.include_train)
+
+    payload = {
+        "model": args.model,
+        "dataset": args.dataset,
+        "k": args.top_k,
+        "recommendations": {str(u): [int(i) for i in row]
+                            for u, row in zip(users, top)},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{args.model} on {args.dataset} — {service!r}")
+        for user, row in zip(users, top):
+            print(f"user {user}: {[int(i) for i in row]}")
     return 0
 
 
@@ -124,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if args.command == "train":
         return _command_train(args)
+    if args.command == "recommend":
+        return _command_recommend(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "models":

@@ -23,7 +23,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from ..autograd import SparseTensor, Tensor, sparse_matmul
+from ..autograd import Tensor
+from ..engine import PropagationEngine
 from ..data import DataSplit
 from ..graph import EdgeDropout, build_edge_dropout, propagation_matrix
 from ..models.graph_base import GraphRecommender
@@ -81,7 +82,7 @@ class LayerGCN(GraphRecommender):
 
         # Propagation matrix used during the current training epoch (pruned),
         # and the most recent per-layer mean similarities for Fig. 5.
-        self._train_operator: Optional[SparseTensor] = None
+        self._train_operator: Optional[PropagationEngine] = None
         self._last_layer_similarities: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
@@ -100,9 +101,9 @@ class LayerGCN(GraphRecommender):
             item_indices=self.graph.item_indices[kept],
             self_loops=False,
         )
-        self._train_operator = SparseTensor(pruned)
+        self._train_operator = PropagationEngine(pruned)
 
-    def propagation_operator(self) -> SparseTensor:
+    def propagation_operator(self) -> PropagationEngine:
         """Pruned matrix during training; full graph at inference (Section III-B-1)."""
         if self.training and self._train_operator is not None:
             return self._train_operator
@@ -119,7 +120,7 @@ class LayerGCN(GraphRecommender):
         similarities: List[Tensor] = []
         current: Tensor = ego
         for _ in range(self.num_layers):
-            propagated = sparse_matmul(operator, current)
+            propagated = operator.apply(current)
             refined, similarity = refine_layer(propagated, ego, eps=self.epsilon)
             layers.append(refined)
             similarities.append(similarity)

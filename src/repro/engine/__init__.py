@@ -1,0 +1,40 @@
+"""Serving-grade inference engine.
+
+This subpackage concentrates everything the library needs to turn trained
+models into a fast, reusable serving path:
+
+* :class:`PropagationEngine` — owns the sparse propagation operator (CSR
+  matrix, cached transpose, configurable dtype, reusable output buffers) and
+  exposes both a plain-array product and a differentiable ``apply`` that
+  plugs into the autograd graph.  Every GCN model's :math:`\\hat{A} X`
+  product routes through it.
+* :class:`UserItemIndex` — an immutable CSR ``user -> items`` index with
+  fully vectorised batch operations (flat-index masking, membership
+  matrices, per-user counts).  Built once per split and shared by the
+  evaluator, the recommendation service and ``Recommender.recommend``.
+* :class:`InferenceIndex` — freezes a model's final user/item embeddings
+  after training (or falls back to its ``score_users``) together with the
+  train-interaction exclusion index, so scoring + masking become a pair of
+  dense matmuls and one vectorised flat-index assignment per batch.
+* :class:`RecommendationService` — batched ``top_k`` / ``score_pairs`` APIs
+  with an LRU result cache; the serving front-end used by the CLI, the
+  examples and ``Recommender.recommend``.
+
+Dtype policy: training always runs in ``float64`` (the autograd substrate is
+exact-gradient float64); inference defaults to ``float64`` for bit-parity
+with evaluation but can be dropped to ``float32`` for serving workloads via
+the ``dtype`` arguments on :class:`PropagationEngine`, :class:`InferenceIndex`
+and :class:`RecommendationService`.
+"""
+
+from .propagation import PropagationEngine
+from .index import InferenceIndex, UserItemIndex, train_exclusion_index
+from .service import RecommendationService
+
+__all__ = [
+    "PropagationEngine",
+    "InferenceIndex",
+    "UserItemIndex",
+    "train_exclusion_index",
+    "RecommendationService",
+]

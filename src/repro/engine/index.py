@@ -1,0 +1,292 @@
+"""Frozen inference-time indexes.
+
+Two structures live here:
+
+* :class:`UserItemIndex` — an immutable CSR ``user -> sorted unique items``
+  index over a set of interactions.  Its batch operations are fully
+  vectorised: masking a score batch is ONE flat-index assignment (no
+  per-user Python loop), membership tests materialise a boolean matrix in
+  one scatter, counts are an indptr difference.
+* :class:`InferenceIndex` — a model snapshot for serving: the final user and
+  item embedding matrices frozen after training (falling back to the
+  model's ``score_users`` for non-factorised models such as MultiVAE),
+  paired with the train-interaction exclusion index so "score all items and
+  drop what the user already consumed" is two dense ops per batch.
+
+Both are deliberately NumPy-only (no autograd imports) so they can be built
+from any scorer, including test doubles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "UserItemIndex",
+    "InferenceIndex",
+    "train_exclusion_index",
+    "top_k_indices",
+]
+
+_SPLIT_INDEX_CACHE = "_engine_user_item_indexes"
+
+
+def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the top-``k`` scores per row, ordered by decreasing score.
+
+    Ties break by ascending item id (stable argsort over an argpartition),
+    matching the historical evaluator behaviour bit-for-bit.
+    """
+    k = min(int(k), scores.shape[1])
+    partition = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+    row_scores = np.take_along_axis(scores, partition, axis=1)
+    order = np.argsort(-row_scores, axis=1, kind="stable")
+    return np.take_along_axis(partition, order, axis=1)
+
+
+class UserItemIndex:
+    """Immutable CSR index of ``user -> sorted unique item ids``.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Size of the id spaces (rows of the index / width of score batches).
+    users, items:
+        Parallel interaction arrays; duplicates collapse to one entry, which
+        matches the historical per-user ``set`` semantics.
+    """
+
+    def __init__(self, num_users: int, num_items: int,
+                 users: Sequence[int], items: Sequence[int]) -> None:
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have the same length")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+
+        if users.size:
+            pairs = users * np.int64(self.num_items) + items
+            pairs = np.unique(pairs)
+            users = pairs // self.num_items
+            items = pairs % self.num_items
+        self.indptr = np.zeros(self.num_users + 1, dtype=np.int64)
+        np.cumsum(np.bincount(users, minlength=self.num_users), out=self.indptr[1:])
+        self.indices = items
+        self.indptr.setflags(write=False)
+        self.indices.setflags(write=False)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_split(cls, split, which: str = "train") -> "UserItemIndex":
+        """Index over one partition of a :class:`repro.data.DataSplit`.
+
+        Indexes are cached on the split object — every consumer (evaluator,
+        recommendation service, ``Recommender.recommend``) shares one build.
+        """
+        cache = getattr(split, _SPLIT_INDEX_CACHE, None)
+        if cache is None:
+            cache = {}
+            setattr(split, _SPLIT_INDEX_CACHE, cache)
+        if which not in cache:
+            if which == "train":
+                users, items = split.train_users, split.train_items
+            elif which in ("valid", "validation"):
+                users, items = split.valid_users, split.valid_items
+            elif which == "test":
+                users, items = split.test_users, split.test_items
+            else:
+                raise ValueError("which must be one of 'train', 'valid', 'test'")
+            cache[which] = cls(split.num_users, split.num_items, users, items)
+        return cache[which]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        return int(self.indices.size)
+
+    def counts(self, users: Optional[np.ndarray] = None) -> np.ndarray:
+        """Number of indexed items per user (for all users when omitted)."""
+        if users is None:
+            return np.diff(self.indptr)
+        users = np.asarray(users, dtype=np.int64)
+        return self.indptr[users + 1] - self.indptr[users]
+
+    def users_with_items(self) -> np.ndarray:
+        """Sorted ids of users that have at least one indexed item."""
+        return np.nonzero(np.diff(self.indptr) > 0)[0].astype(np.int64)
+
+    def items_for(self, user: int) -> np.ndarray:
+        """Sorted item ids of one user (zero-copy view)."""
+        return self.indices[self.indptr[user]:self.indptr[user + 1]]
+
+    def flat_pairs(self, users: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """(batch_row, item) coordinate arrays covering the users' items.
+
+        This is the flat-index gather that replaces the per-user masking
+        loop: for a batch of users it returns, without Python-level
+        iteration, the row index into the batch and the item column of every
+        indexed (user, item) pair.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        counts = self.counts(users)
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        rows = np.repeat(np.arange(users.size, dtype=np.int64), counts)
+        # Positions into self.indices: each user's slice starts at
+        # indptr[user]; subtracting the running offset of earlier slices
+        # turns a global arange into per-slice aranges.
+        offsets = np.cumsum(counts) - counts
+        positions = (np.arange(total, dtype=np.int64)
+                     - np.repeat(offsets, counts)
+                     + np.repeat(self.indptr[users], counts))
+        return rows, self.indices[positions]
+
+    def mask(self, scores: np.ndarray, users: np.ndarray,
+             value: float = -np.inf) -> np.ndarray:
+        """Assign ``value`` at every indexed (user, item) position, in place."""
+        rows, cols = self.flat_pairs(users)
+        if rows.size:
+            scores[rows, cols] = value
+        return scores
+
+    def membership(self, users: np.ndarray) -> np.ndarray:
+        """Boolean ``(len(users), num_items)`` matrix of indexed pairs."""
+        users = np.asarray(users, dtype=np.int64)
+        matrix = np.zeros((users.size, self.num_items), dtype=bool)
+        rows, cols = self.flat_pairs(users)
+        if rows.size:
+            matrix[rows, cols] = True
+        return matrix
+
+    def __repr__(self) -> str:
+        return (f"UserItemIndex(users={self.num_users}, items={self.num_items}, "
+                f"nnz={self.nnz})")
+
+
+def train_exclusion_index(split) -> UserItemIndex:
+    """The cached ``user -> train items`` exclusion index of a split."""
+    return UserItemIndex.from_split(split, "train")
+
+
+class InferenceIndex:
+    """Model snapshot for serving: frozen embeddings + exclusion index.
+
+    Factorised models (anything exposing ``user_item_embeddings``) freeze
+    their final user/item matrices, so a score batch is one dense matmul in
+    the configured dtype.  Other models fall back to their ``score_users``
+    callable.  Training positives are excluded through the shared
+    :class:`UserItemIndex` in one vectorised assignment per batch.
+    """
+
+    def __init__(self, num_users: int, num_items: int, *,
+                 user_embeddings: Optional[np.ndarray] = None,
+                 item_embeddings: Optional[np.ndarray] = None,
+                 scorer=None,
+                 exclusion: Optional[UserItemIndex] = None,
+                 dtype=np.float64) -> None:
+        if (user_embeddings is None) != (item_embeddings is None):
+            raise ValueError("user and item embeddings must be provided together")
+        if user_embeddings is None and scorer is None:
+            raise ValueError("need either embedding matrices or a scorer")
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self.dtype = np.dtype(dtype)
+        self._scorer = scorer
+        if user_embeddings is not None:
+            self.user_embeddings = np.array(user_embeddings, dtype=self.dtype, copy=True)
+            self.item_embeddings = np.array(item_embeddings, dtype=self.dtype, copy=True)
+            if self.user_embeddings.shape[0] != self.num_users:
+                raise ValueError("user embedding rows must equal num_users")
+            if self.item_embeddings.shape[0] != self.num_items:
+                raise ValueError("item embedding rows must equal num_items")
+        else:
+            self.user_embeddings = None
+            self.item_embeddings = None
+        self.exclusion = exclusion
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_model(cls, model, split=None, *, dtype=np.float64,
+                   exclusion: Optional[UserItemIndex] = None) -> "InferenceIndex":
+        """Freeze a model (any ``score_users`` scorer) for serving.
+
+        ``split`` defaults to ``model.split``; when neither is available the
+        exclusion index is omitted and only unmasked scoring works.
+        """
+        split = split if split is not None else getattr(model, "split", None)
+        if exclusion is None and split is not None:
+            exclusion = train_exclusion_index(split)
+        if split is not None:
+            num_users, num_items = split.num_users, split.num_items
+        else:
+            num_users, num_items = model.num_users, model.num_items
+        if hasattr(model, "user_item_embeddings"):
+            user_matrix, item_matrix = model.user_item_embeddings()
+            return cls(num_users, num_items,
+                       user_embeddings=user_matrix, item_embeddings=item_matrix,
+                       exclusion=exclusion, dtype=dtype)
+        return cls(num_users, num_items, scorer=model.score_users,
+                   exclusion=exclusion, dtype=dtype)
+
+    @property
+    def is_factorized(self) -> bool:
+        return self.user_embeddings is not None
+
+    # ------------------------------------------------------------------ #
+    def scores(self, users: Sequence[int], mask_train: bool = False) -> np.ndarray:
+        """Dense ``(len(users), num_items)`` score batch in ``self.dtype``."""
+        users = np.asarray(users, dtype=np.int64)
+        if self.is_factorized:
+            scores = self.user_embeddings[users] @ self.item_embeddings.T
+            owned = True
+        else:
+            raw = np.asarray(self._scorer(users))
+            scores = raw.astype(self.dtype, copy=False)
+            owned = scores is not raw
+        if scores.shape != (users.size, self.num_items):
+            raise ValueError(
+                "scorer must return an array of shape (num_users_in_batch, num_items); "
+                f"got {scores.shape}"
+            )
+        if mask_train:
+            if self.exclusion is None:
+                raise ValueError("no exclusion index attached to this InferenceIndex")
+            if not owned:
+                # Never scribble -inf into an array the scorer may still own.
+                scores = scores.copy()
+            self.exclusion.mask(scores, users)
+        return scores
+
+    def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
+        """Scores of aligned (user, item) pairs without scoring all items."""
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape:
+            raise ValueError("users and items must be aligned 1-d arrays")
+        if self.is_factorized:
+            return np.einsum("ij,ij->i", self.user_embeddings[users],
+                             self.item_embeddings[items])
+        return self.scores(users)[np.arange(users.size), items]
+
+    def top_k(self, users: Sequence[int], k: int,
+              exclude_train: bool = True) -> np.ndarray:
+        """Top-``k`` item ids per user, best first, shape ``(len(users), k)``."""
+        users = np.asarray(users, dtype=np.int64)
+        scores = self.scores(users, mask_train=exclude_train)
+        return top_k_indices(scores, k)
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_train: bool = True) -> List[int]:
+        """Single-user convenience wrapper over :meth:`top_k`."""
+        return [int(item) for item in self.top_k([int(user)], k,
+                                                 exclude_train=exclude_train)[0]]
+
+    def __repr__(self) -> str:
+        mode = "factorized" if self.is_factorized else "scorer"
+        return (f"InferenceIndex(users={self.num_users}, items={self.num_items}, "
+                f"mode={mode}, dtype={self.dtype.name})")

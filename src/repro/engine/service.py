@@ -1,0 +1,137 @@
+"""Serving front-end: batched top-K with an LRU result cache.
+
+:class:`RecommendationService` is what sits between a trained model and
+anything that wants recommendations — the CLI, the examples,
+``Recommender.recommend`` — so the expensive pieces (final embedding
+snapshot, exclusion index, top-K partition) are built once and reused across
+requests.  Repeated single-user requests hit an LRU cache keyed by
+``(user, k, exclude_train)``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .index import InferenceIndex, UserItemIndex
+
+__all__ = ["RecommendationService"]
+
+
+class RecommendationService:
+    """Batched recommendation serving over a frozen :class:`InferenceIndex`.
+
+    Parameters
+    ----------
+    model:
+        Any scorer accepted by :meth:`InferenceIndex.from_model`.  Ignored
+        when a prebuilt ``index`` is given.
+    split:
+        Split providing the exclusion index; defaults to ``model.split``.
+    dtype:
+        Serving dtype (``float32`` halves the embedding snapshot's memory).
+    batch_size:
+        Users per scoring batch in :meth:`top_k` — bounds the peak size of
+        the dense ``(batch, num_items)`` score block.
+    cache_size:
+        Capacity of the per-user LRU result cache (0 disables caching).
+    """
+
+    def __init__(self, model=None, split=None, *,
+                 index: Optional[InferenceIndex] = None,
+                 dtype=np.float64, batch_size: int = 1024,
+                 cache_size: int = 4096) -> None:
+        if index is None:
+            if model is None:
+                raise ValueError("provide a model or a prebuilt InferenceIndex")
+            index = InferenceIndex.from_model(model, split, dtype=dtype)
+        self.index = index
+        self.batch_size = int(batch_size)
+        self.cache_size = int(cache_size)
+        self._model = model
+        self._split = split
+        self._dtype = dtype
+        self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        return self.index.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.index.num_items
+
+    @property
+    def exclusion(self) -> Optional[UserItemIndex]:
+        return self.index.exclusion
+
+    def refresh(self, model=None) -> "RecommendationService":
+        """Re-freeze the model's embeddings (after more training) and clear the cache."""
+        model = model if model is not None else self._model
+        if model is None:
+            raise ValueError("no model to refresh from")
+        self._model = model
+        self.index = InferenceIndex.from_model(
+            model, self._split, dtype=self._dtype, exclusion=self.index.exclusion)
+        self.clear_cache()
+        return self
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    def top_k(self, users: Sequence[int], k: int,
+              exclude_train: bool = True) -> np.ndarray:
+        """Top-``k`` item ids for a batch of users, shape ``(len(users), k)``.
+
+        Scoring runs in ``batch_size`` blocks so arbitrarily large user
+        batches never materialise more than one dense score block at a time.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if users.ndim != 1:
+            raise ValueError("users must be a 1-d array of user ids")
+        k = int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        width = min(k, self.num_items)
+        out = np.empty((users.size, width), dtype=np.int64)
+        for start in range(0, users.size, self.batch_size):
+            block = users[start:start + self.batch_size]
+            out[start:start + block.size] = self.index.top_k(
+                block, k, exclude_train=exclude_train)
+        return out
+
+    def recommend(self, user: int, k: int = 10,
+                  exclude_train: bool = True) -> List[int]:
+        """Cached single-user top-``k`` (the interactive / online entry point)."""
+        key = (int(user), int(k), bool(exclude_train))
+        if self.cache_size > 0:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                return list(cached)
+        self.cache_misses += 1
+        items = [int(item) for item in
+                 self.index.top_k([int(user)], k, exclude_train=exclude_train)[0]]
+        if self.cache_size > 0:
+            self._cache[key] = tuple(items)
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return items
+
+    def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
+        """Scores of aligned (user, item) pairs — O(batch · dim) when factorised."""
+        return self.index.score_pairs(users, items)
+
+    def __repr__(self) -> str:
+        return (f"RecommendationService(index={self.index!r}, "
+                f"batch_size={self.batch_size}, cache_size={self.cache_size}, "
+                f"hits={self.cache_hits}, misses={self.cache_misses})")

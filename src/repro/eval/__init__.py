@@ -10,7 +10,15 @@ from .metrics import (
     precision_at_k,
     recall_at_k,
 )
-from .ranking import DEFAULT_KS, DEFAULT_METRICS, EvaluationResult, RankingEvaluator, evaluate_model
+from .ranking import (
+    DEFAULT_KS,
+    DEFAULT_METRICS,
+    VECTORIZED_METRICS,
+    EvaluationResult,
+    RankingEvaluator,
+    evaluate_model,
+)
+from .reference import ReferenceRankingEvaluator
 from .significance import SignificanceReport, compare_per_user, paired_t_test
 
 __all__ = [
@@ -24,8 +32,10 @@ __all__ = [
     "recall_at_k",
     "DEFAULT_KS",
     "DEFAULT_METRICS",
+    "VECTORIZED_METRICS",
     "EvaluationResult",
     "RankingEvaluator",
+    "ReferenceRankingEvaluator",
     "evaluate_model",
     "SignificanceReport",
     "compare_per_user",

@@ -1,25 +1,39 @@
-"""Full-ranking (all-ranking) evaluation protocol.
+"""Full-ranking (all-ranking) evaluation protocol, fully vectorised.
 
 Following Section V-A-3 of the paper: for every user with held-out
 interactions, *all* items the user has not interacted with in the training
 data are candidates; the model scores them, the top-K list is formed and
 Recall@K / NDCG@K are averaged over users.
+
+The evaluator routes through :mod:`repro.engine`: training positives are
+masked with ONE flat-index assignment per batch (the split's cached
+:class:`~repro.engine.UserItemIndex`), and every metric is computed over the
+whole batch at once from a hit matrix plus cumulative discount tables — no
+per-user Python loop anywhere on the hot path.  The historical loop
+implementation survives as :class:`repro.eval.reference.ReferenceRankingEvaluator`
+and the two agree within 1e-9 (asserted by the parity tests and
+``benchmarks/bench_engine_throughput.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
 from ..data import DataSplit
+from ..engine import InferenceIndex, UserItemIndex, train_exclusion_index
+from ..engine.index import top_k_indices
 from .metrics import METRIC_FUNCTIONS
 
 __all__ = ["EvaluationResult", "RankingEvaluator", "evaluate_model"]
 
 DEFAULT_KS = (10, 20, 50)
 DEFAULT_METRICS = ("recall", "ndcg")
+
+#: Metrics with a batch-vectorised kernel in :meth:`RankingEvaluator._metric_batch`.
+VECTORIZED_METRICS = ("recall", "ndcg", "precision", "hit_rate", "map")
 
 
 @dataclass
@@ -61,11 +75,17 @@ class RankingEvaluator:
     ----------
     split:
         The train/valid/test split; the train interactions are used as the
-        candidate mask (items already interacted with are excluded).
+        candidate mask (items already interacted with are excluded).  The
+        exclusion index and per-partition ground-truth indexes are built once
+        and cached on the split, so repeated evaluations (e.g. per-epoch
+        validation inside ``Trainer.fit``) pay nothing to set up.
     ks:
         Cut-offs to report (the paper uses 10, 20, 50).
     metrics:
-        Names from :data:`repro.eval.metrics.METRIC_FUNCTIONS`.
+        Names from :data:`repro.eval.ranking.VECTORIZED_METRICS`.
+    batch_size:
+        Users scored per dense batch; bounds peak memory at
+        ``batch_size * num_items`` doubles.
     """
 
     def __init__(
@@ -78,66 +98,110 @@ class RankingEvaluator:
         unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
         if unknown:
             raise KeyError(f"unknown metrics {unknown}; options: {sorted(METRIC_FUNCTIONS)}")
+        not_vectorized = [m for m in metrics if m not in VECTORIZED_METRICS]
+        if not_vectorized:
+            raise KeyError(
+                f"metrics {not_vectorized} have no vectorised kernel; "
+                f"options: {sorted(VECTORIZED_METRICS)}"
+            )
         if any(k <= 0 for k in ks):
             raise ValueError("all cut-offs must be positive")
         self.split = split
         self.ks = tuple(int(k) for k in ks)
         self.metrics = tuple(metrics)
         self.batch_size = int(batch_size)
-        self._train_positives = split.train_positive_sets()
+        self._exclusion = train_exclusion_index(split)
 
     # ------------------------------------------------------------------ #
     def evaluate(self, model, which: str = "test") -> EvaluationResult:
-        """Evaluate ``model`` (anything with ``score_users(users) -> ndarray``)."""
-        ground_truth = self.split.ground_truth(which)
-        users = np.asarray(sorted(ground_truth), dtype=np.int64)
+        """Evaluate ``model`` (anything with ``score_users(users) -> ndarray``).
+
+        Models exposing ``user_item_embeddings`` are frozen into an
+        :class:`~repro.engine.InferenceIndex` once per call, so scoring is a
+        dense matmul per batch; anything else is scored through its
+        ``score_users``.
+        """
+        truth = UserItemIndex.from_split(self.split, which)
+        users = truth.users_with_items()
         result = EvaluationResult()
         if users.size == 0:
             return result
 
+        index = InferenceIndex.from_model(
+            model, self.split, dtype=np.float64, exclusion=self._exclusion)
+
         max_k = max(self.ks)
-        per_user: Dict[str, List[float]] = {
-            f"{metric}@{k}": [] for metric in self.metrics for k in self.ks
+        per_user: Dict[str, np.ndarray] = {
+            f"{metric}@{k}": np.empty(users.size, dtype=np.float64)
+            for metric in self.metrics for k in self.ks
         }
+        # discounts[i] = 1 / log2(i + 2) is the gain of a hit at rank i + 1;
+        # its running sum doubles as the IDCG table (best case: all hits at
+        # the top), so NDCG needs no per-user ideal-ranking computation.
+        discounts = 1.0 / np.log2(np.arange(2, max_k + 2, dtype=np.float64))
+        cum_discounts = np.cumsum(discounts)
 
         for start in range(0, users.size, self.batch_size):
             batch_users = users[start:start + self.batch_size]
-            scores = np.asarray(model.score_users(batch_users), dtype=np.float64)
-            if scores.shape != (batch_users.size, self.split.num_items):
-                raise ValueError(
-                    "score_users must return an array of shape (num_users_in_batch, num_items); "
-                    f"got {scores.shape}"
-                )
-            # Mask training positives so they cannot be recommended again.
-            for row, user in enumerate(batch_users):
-                positives = self._train_positives[int(user)]
-                if positives:
-                    scores[row, list(positives)] = -np.inf
+            scores = index.scores(batch_users, mask_train=True)
+            ranked = top_k_indices(scores, max_k)
 
-            ranked = self._top_k_indices(scores, max_k)
-            for row, user in enumerate(batch_users):
-                relevant = ground_truth[int(user)]
-                ranked_items = ranked[row]
-                for metric in self.metrics:
-                    func = METRIC_FUNCTIONS[metric]
-                    for k in self.ks:
-                        per_user[f"{metric}@{k}"].append(func(ranked_items, relevant, k))
+            # (batch, width) hit matrix: was the item at each rank relevant?
+            relevant = truth.membership(batch_users)
+            hits = relevant[np.arange(batch_users.size)[:, None], ranked]
+            hits = hits.astype(np.float64)
+            num_relevant = truth.counts(batch_users)
+
+            width = ranked.shape[1]
+            cum_hits = np.cumsum(hits, axis=1)
+            cum_dcg = np.cumsum(hits * discounts[:width], axis=1)
+
+            stop = start + batch_users.size
+            for metric in self.metrics:
+                for k in self.ks:
+                    per_user[f"{metric}@{k}"][start:stop] = self._metric_batch(
+                        metric, k, cum_hits, cum_dcg, hits, num_relevant,
+                        cum_discounts)
 
         for key, values in per_user.items():
-            array = np.asarray(values, dtype=np.float64)
-            result.per_user[key] = array
-            result.values[key] = float(array.mean()) if array.size else 0.0
+            result.per_user[key] = values
+            result.values[key] = float(values.mean()) if values.size else 0.0
         result.num_users_evaluated = int(users.size)
         return result
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _metric_batch(metric: str, k: int, cum_hits: np.ndarray,
+                      cum_dcg: np.ndarray, hits: np.ndarray,
+                      num_relevant: np.ndarray,
+                      cum_discounts: np.ndarray) -> np.ndarray:
+        """One metric at one cut-off for a whole batch, no user loop.
+
+        Every evaluated user has ``num_relevant >= 1`` (users without
+        held-out items are never scored), so the divisions are safe.
+        """
+        width = cum_hits.shape[1]
+        column = min(k, width) - 1
+        if metric == "recall":
+            return cum_hits[:, column] / num_relevant
+        if metric == "ndcg":
+            ideal = cum_discounts[np.minimum(num_relevant, k) - 1]
+            return cum_dcg[:, column] / ideal
+        if metric == "precision":
+            return cum_hits[:, column] / float(k)
+        if metric == "hit_rate":
+            return (cum_hits[:, column] > 0).astype(np.float64)
+        if metric == "map":
+            ranks = np.arange(1, width + 1, dtype=np.float64)
+            precisions = cum_hits / ranks
+            average = np.cumsum(precisions * hits, axis=1)[:, column]
+            return average / np.minimum(num_relevant, k)
+        raise KeyError(f"no vectorised kernel for metric '{metric}'")
 
     @staticmethod
     def _top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
         """Indices of the top-``k`` scores per row, ordered by decreasing score."""
-        k = min(k, scores.shape[1])
-        partition = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
-        row_scores = np.take_along_axis(scores, partition, axis=1)
-        order = np.argsort(-row_scores, axis=1, kind="stable")
-        return np.take_along_axis(partition, order, axis=1)
+        return top_k_indices(scores, k)
 
 
 def evaluate_model(model, split: DataSplit, ks: Sequence[int] = DEFAULT_KS,

@@ -1,0 +1,107 @@
+"""Reference (per-user loop) implementation of the ranking protocol.
+
+This is the historical implementation of :class:`RankingEvaluator`, kept
+verbatim as the behavioural oracle: it masks training positives one user at
+a time and accumulates every metric through the scalar functions in
+:mod:`repro.eval.metrics`.  The vectorised evaluator in
+:mod:`repro.eval.ranking` must match it within 1e-9 — the parity tests and
+``benchmarks/bench_engine_throughput.py`` assert exactly that.
+
+Do not optimise this module; its value is being slow and obviously correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..data import DataSplit
+from .metrics import METRIC_FUNCTIONS
+
+__all__ = ["ReferenceRankingEvaluator"]
+
+DEFAULT_KS = (10, 20, 50)
+DEFAULT_METRICS = ("recall", "ndcg")
+
+
+class ReferenceRankingEvaluator:
+    """Per-user-loop evaluator (see module docstring).
+
+    Mirrors the constructor and ``evaluate`` signature of
+    :class:`repro.eval.RankingEvaluator` and returns the same
+    :class:`repro.eval.EvaluationResult` type.
+    """
+
+    def __init__(
+        self,
+        split: DataSplit,
+        ks: Sequence[int] = DEFAULT_KS,
+        metrics: Sequence[str] = DEFAULT_METRICS,
+        batch_size: int = 256,
+    ) -> None:
+        unknown = [m for m in metrics if m not in METRIC_FUNCTIONS]
+        if unknown:
+            raise KeyError(f"unknown metrics {unknown}; options: {sorted(METRIC_FUNCTIONS)}")
+        if any(k <= 0 for k in ks):
+            raise ValueError("all cut-offs must be positive")
+        self.split = split
+        self.ks = tuple(int(k) for k in ks)
+        self.metrics = tuple(metrics)
+        self.batch_size = int(batch_size)
+        self._train_positives = split.train_positive_sets()
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, model, which: str = "test"):
+        """Evaluate ``model`` (anything with ``score_users(users) -> ndarray``)."""
+        from .ranking import EvaluationResult  # local import to avoid a cycle
+
+        ground_truth = self.split.ground_truth(which)
+        users = np.asarray(sorted(ground_truth), dtype=np.int64)
+        result = EvaluationResult()
+        if users.size == 0:
+            return result
+
+        max_k = max(self.ks)
+        per_user: Dict[str, List[float]] = {
+            f"{metric}@{k}": [] for metric in self.metrics for k in self.ks
+        }
+
+        for start in range(0, users.size, self.batch_size):
+            batch_users = users[start:start + self.batch_size]
+            scores = np.asarray(model.score_users(batch_users), dtype=np.float64)
+            if scores.shape != (batch_users.size, self.split.num_items):
+                raise ValueError(
+                    "score_users must return an array of shape (num_users_in_batch, num_items); "
+                    f"got {scores.shape}"
+                )
+            # Mask training positives so they cannot be recommended again.
+            for row, user in enumerate(batch_users):
+                positives = self._train_positives[int(user)]
+                if positives:
+                    scores[row, list(positives)] = -np.inf
+
+            ranked = self._top_k_indices(scores, max_k)
+            for row, user in enumerate(batch_users):
+                relevant = ground_truth[int(user)]
+                ranked_items = ranked[row]
+                for metric in self.metrics:
+                    func = METRIC_FUNCTIONS[metric]
+                    for k in self.ks:
+                        per_user[f"{metric}@{k}"].append(func(ranked_items, relevant, k))
+
+        for key, values in per_user.items():
+            array = np.asarray(values, dtype=np.float64)
+            result.per_user[key] = array
+            result.values[key] = float(array.mean()) if array.size else 0.0
+        result.num_users_evaluated = int(users.size)
+        return result
+
+    @staticmethod
+    def _top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
+        """Indices of the top-``k`` scores per row, ordered by decreasing score."""
+        k = min(k, scores.shape[1])
+        partition = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
+        row_scores = np.take_along_axis(scores, partition, axis=1)
+        order = np.argsort(-row_scores, axis=1, kind="stable")
+        return np.take_along_axis(partition, order, axis=1)

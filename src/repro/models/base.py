@@ -25,6 +25,7 @@ import numpy as np
 
 from ..autograd import Module, Tensor
 from ..data import BprBatchIterator, DataSplit
+from ..engine import RecommendationService
 
 __all__ = ["Recommender"]
 
@@ -60,6 +61,7 @@ class Recommender(Module):
         self.batch_size = int(batch_size)
         self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
+        self._service: Optional[RecommendationService] = None
 
     # ------------------------------------------------------------------ #
     # Training protocol
@@ -87,24 +89,45 @@ class Recommender(Module):
         raise NotImplementedError
 
     def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
-        """Scores of specific (user, item) pairs; default slices score_users."""
-        users = np.asarray(users, dtype=np.int64)
-        items = np.asarray(items, dtype=np.int64)
-        scores = self.score_users(users)
-        return scores[np.arange(users.size), items]
+        """Scores of specific (user, item) pairs; routed through the engine."""
+        return self.inference_service().score_pairs(users, items)
+
+    def inference_service(self, refresh: bool = False) -> RecommendationService:
+        """The model's serving front-end (see :mod:`repro.engine`).
+
+        The service snapshots the final embeddings, so it is rebuilt on
+        demand while the model is training and cached once it is in eval
+        mode; switching modes via :meth:`train` invalidates it.
+        """
+        if self._service is None or refresh:
+            self._service = RecommendationService(self, self.split)
+        elif self.training:
+            self._service.refresh(self)
+        return self._service
 
     def recommend(self, user: int, k: int = 10,
                   exclude_train: bool = True) -> List[int]:
-        """Top-``k`` item recommendations for a single user."""
-        scores = np.asarray(self.score_users([user]))[0].astype(np.float64)
-        if exclude_train:
-            seen = [item for u, item in zip(self.split.train_users, self.split.train_items)
-                    if int(u) == int(user)]
-            if seen:
-                scores[np.asarray(seen, dtype=np.int64)] = -np.inf
-        k = min(k, scores.size)
-        top = np.argpartition(-scores, kth=k - 1)[:k]
-        return [int(item) for item in top[np.argsort(-scores[top], kind="stable")]]
+        """Top-``k`` item recommendations for a single user.
+
+        Training items are excluded through the split's precomputed
+        exclusion index (one vectorised assignment) instead of scanning the
+        raw interaction arrays on every call.
+        """
+        return self.inference_service().recommend(int(user), k=k,
+                                                  exclude_train=exclude_train)
+
+    def train(self, mode: bool = True) -> "Recommender":
+        # A mode flip drops the frozen serving snapshot; a same-mode call
+        # keeps it (weight changes are handled by load_state_dict below, so a
+        # defensive eval() before serving stays free).
+        if mode != self.training:
+            self._service = None
+        return super().train(mode)
+
+    def load_state_dict(self, state) -> None:
+        # New weights invalidate any frozen serving snapshot.
+        super().load_state_dict(state)
+        self._service = None
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:

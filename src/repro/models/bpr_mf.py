@@ -48,6 +48,10 @@ class BprMF(Recommender):
             )
         return loss
 
+    def user_item_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Final (user, item) factor matrices for the inference engine."""
+        return self.user_factors.data, self.item_factors.data
+
     def score_users(self, users: Sequence[int]) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
         return self.user_factors.data[users] @ self.item_factors.data.T

@@ -16,9 +16,10 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Parameter, SparseTensor, Tensor, init, no_grad, sparse_matmul
+from ..autograd import Parameter, Tensor, init, no_grad
 from ..autograd.functional import l2_normalize
 from ..data import DataSplit
+from ..engine import PropagationEngine
 from ..graph import normalized_adjacency
 from .base import Recommender
 
@@ -39,7 +40,7 @@ class BUIR(Recommender):
         self.momentum = float(momentum)
 
         graph = split.train_graph()
-        self.adjacency = SparseTensor(normalized_adjacency(graph, self_loops=False))
+        self.adjacency = PropagationEngine(normalized_adjacency(graph, self_loops=False))
 
         num_nodes = self.num_users + self.num_items
         self.online_embeddings = Parameter(
@@ -56,7 +57,7 @@ class BUIR(Recommender):
         layers = [embeddings]
         current = embeddings
         for _ in range(self.num_layers):
-            current = sparse_matmul(self.adjacency, current)
+            current = self.adjacency.apply(current)
             layers.append(current)
         total = layers[0]
         for layer in layers[1:]:
@@ -106,13 +107,15 @@ class BUIR(Recommender):
         )
 
     # ------------------------------------------------------------------ #
-    def score_users(self, users: Sequence[int]) -> np.ndarray:
-        users = np.asarray(users, dtype=np.int64)
+    def user_item_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Final (user, item) matrices combining the online and target views."""
         with no_grad():
             online = self._encode(self.online_embeddings).data
-        target = self._encode_target()
         # Prediction combines both views, as in the original implementation.
-        combined = online + target
-        user_matrix = combined[: self.num_users]
-        item_matrix = combined[self.num_users:]
+        combined = online + self._encode_target()
+        return combined[: self.num_users], combined[self.num_users:]
+
+    def score_users(self, users: Sequence[int]) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        user_matrix, item_matrix = self.user_item_embeddings()
         return user_matrix[users] @ item_matrix.T

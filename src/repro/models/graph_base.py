@@ -19,8 +19,9 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..autograd import Parameter, SparseTensor, Tensor, init, no_grad
+from ..autograd import Parameter, Tensor, init, no_grad
 from ..data import DataSplit
+from ..engine import PropagationEngine
 from ..graph import BipartiteGraph, normalized_adjacency
 from ..training.losses import bpr_loss, l2_regularization
 from .base import Recommender
@@ -60,7 +61,11 @@ class GraphRecommender(Recommender):
         self.self_loops = bool(self_loops)
 
         self.graph: BipartiteGraph = split.train_graph()
-        self.adjacency = SparseTensor(normalized_adjacency(self.graph, self_loops=self_loops))
+        # Training propagation always runs in float64 — the autograd
+        # substrate computes exact float64 gradients (see repro.engine for
+        # the dtype policy; float32 engines are for inference-only paths).
+        self.adjacency = PropagationEngine(
+            normalized_adjacency(self.graph, self_loops=self_loops))
 
         num_nodes = self.num_users + self.num_items
         self.embeddings = Parameter(
@@ -72,11 +77,11 @@ class GraphRecommender(Recommender):
     # ------------------------------------------------------------------ #
     # Propagation
     # ------------------------------------------------------------------ #
-    def propagation_operator(self) -> SparseTensor:
-        """Propagation matrix used for the current forward pass.
+    def propagation_operator(self) -> PropagationEngine:
+        """Propagation engine used for the current forward pass.
 
         Subclasses with edge dropout override this to return the pruned
-        matrix during training and the full matrix at inference.
+        operator during training and the full operator at inference.
         """
         return self.adjacency
 
@@ -143,3 +148,7 @@ class GraphRecommender(Recommender):
     def train(self, mode: bool = True) -> "GraphRecommender":
         self._cached_final = None
         return super().train(mode)
+
+    def load_state_dict(self, state) -> None:
+        super().load_state_dict(state)
+        self._cached_final = None

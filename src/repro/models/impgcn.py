@@ -21,7 +21,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import SparseTensor, Tensor, no_grad, sparse_matmul
+from ..autograd import Tensor
+from ..engine import PropagationEngine
 from ..data import DataSplit
 from ..graph import propagation_matrix
 from .graph_base import GraphRecommender
@@ -42,16 +43,20 @@ class IMPGCN(GraphRecommender):
         if num_groups < 1:
             raise ValueError("num_groups must be positive")
         self.num_groups = int(num_groups)
-        self._group_operators: Optional[List[SparseTensor]] = None
+        self._group_operators: Optional[List[PropagationEngine]] = None
 
     # ------------------------------------------------------------------ #
     # Interest grouping
     # ------------------------------------------------------------------ #
     def _assign_groups(self) -> np.ndarray:
-        """Cluster users into interest groups on their first-order embeddings."""
-        with no_grad():
-            first_order = sparse_matmul(self.adjacency, self.embeddings).data
-        user_repr = first_order[: self.num_users]
+        """Cluster users into interest groups on their first-order embeddings.
+
+        This runs once per epoch outside the autograd graph, so it reuses the
+        engine's scratch buffer instead of allocating an (N, T) array each
+        time; only the user block is copied out for the k-means below.
+        """
+        first_order = self.adjacency.forward(self.embeddings.data, out="scratch")
+        user_repr = first_order[: self.num_users].copy()
         if self.num_groups == 1 or self.num_users <= self.num_groups:
             return np.zeros(self.num_users, dtype=np.int64)
 
@@ -70,10 +75,10 @@ class IMPGCN(GraphRecommender):
                     centroids[group] = members.mean(axis=0)
         return assignment
 
-    def _build_group_operators(self) -> List[SparseTensor]:
+    def _build_group_operators(self) -> List[PropagationEngine]:
         """Propagation matrices of the per-group subgraphs (items shared)."""
         assignment = self._assign_groups()
-        operators: List[SparseTensor] = []
+        operators: List[PropagationEngine] = []
         edge_groups = assignment[self.graph.user_indices]
         for group in range(self.num_groups):
             mask = edge_groups == group
@@ -83,7 +88,7 @@ class IMPGCN(GraphRecommender):
                 item_indices=self.graph.item_indices[mask],
                 self_loops=False,
             )
-            operators.append(SparseTensor(matrix))
+            operators.append(PropagationEngine(matrix))
         return operators
 
     def begin_epoch(self, epoch: int) -> None:
@@ -98,16 +103,16 @@ class IMPGCN(GraphRecommender):
             self._group_operators = self._build_group_operators()
 
         # Layer 1: shared full-graph propagation.
-        first = sparse_matmul(self.adjacency, self.embeddings)
+        first = self.adjacency.apply(self.embeddings)
         total = self.embeddings + first
 
         # Layers 2..L: propagate within each interest subgraph and sum the
         # group outputs (each node receives messages only through its group's
         # edges, so the sum never double counts).
-        previous_per_group = [sparse_matmul(op, self.embeddings) for op in self._group_operators]
+        previous_per_group = [op.apply(self.embeddings) for op in self._group_operators]
         for _ in range(1, self.num_layers):
             current_per_group = [
-                sparse_matmul(op, prev) for op, prev in zip(self._group_operators, previous_per_group)
+                op.apply(prev) for op, prev in zip(self._group_operators, previous_per_group)
             ]
             layer_sum: Optional[Tensor] = None
             for current in current_per_group:

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor, init, sparse_matmul
+from ..autograd import Parameter, Tensor, init
 from ..autograd.functional import softmax, stack
 from ..data import DataSplit
 from .graph_base import GraphRecommender
@@ -39,7 +39,7 @@ class LightGCN(GraphRecommender):
         layers = [self.embeddings]
         current: Tensor = self.embeddings
         for _ in range(self.num_layers):
-            current = sparse_matmul(operator, current)
+            current = operator.apply(current)
             layers.append(current)
         return layers
 

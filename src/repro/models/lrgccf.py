@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..autograd import Tensor, sparse_matmul
+from ..autograd import Tensor
 from ..autograd.functional import concat
 from ..data import DataSplit
 from .graph_base import GraphRecommender
@@ -36,7 +36,7 @@ class LRGCCF(GraphRecommender):
         layers = [self.embeddings]
         current: Tensor = self.embeddings
         for _ in range(self.num_layers):
-            current = sparse_matmul(operator, current)
+            current = operator.apply(current)
             layers.append(current)
         return layers
 

@@ -19,7 +19,7 @@ from typing import List
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor, init, sparse_matmul
+from ..autograd import Parameter, Tensor, init
 from ..autograd.functional import concat, dropout
 from ..data import DataSplit
 from .graph_base import GraphRecommender
@@ -60,7 +60,7 @@ class NGCF(GraphRecommender):
         layers: List[Tensor] = [self.embeddings]
         current: Tensor = self.embeddings
         for layer in range(self.num_layers):
-            propagated = sparse_matmul(operator, current)
+            propagated = operator.apply(current)
             graph_message = propagated.matmul(self.w_graph[layer])
             interaction_message = (propagated * current).matmul(self.w_interaction[layer])
             current = (graph_message + interaction_message).leaky_relu(0.2)

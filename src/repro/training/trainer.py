@@ -37,6 +37,7 @@ class TrainerConfig:
     early_stopping_patience: int = 10
     validation_metric: str = "recall@20"
     validation_ks: Sequence[int] = (10, 20, 50)
+    eval_batch_size: int = 512
     verbose: bool = False
     restore_best: bool = True
 
@@ -90,7 +91,10 @@ class Trainer:
         self.optimizer = self._build_optimizer()
         metric, k = self._parse_metric(self.config.validation_metric)
         ks = sorted(set(list(self.config.validation_ks) + [k]))
-        self.evaluator = RankingEvaluator(split, ks=ks, metrics=(metric,))
+        # One evaluator for the whole run: the engine's exclusion and
+        # ground-truth indexes are built once here and reused every epoch.
+        self.evaluator = RankingEvaluator(split, ks=ks, metrics=(metric,),
+                                          batch_size=self.config.eval_batch_size)
         self._monitor_key = f"{metric}@{k}"
 
     # ------------------------------------------------------------------ #
@@ -168,4 +172,8 @@ class Trainer:
         if history.best_epoch == 0:
             history.best_epoch = history.num_epochs_run
         self.model.eval()
+        if hasattr(self.model, "inference_service"):
+            # Freeze the (possibly restored) final embeddings into the
+            # model's serving snapshot so recommend()/score_pairs are ready.
+            self.model.inference_service(refresh=True)
         return history

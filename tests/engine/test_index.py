@@ -1,0 +1,167 @@
+"""Tests for UserItemIndex / InferenceIndex (vectorised masking and top-K)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import InferenceIndex, UserItemIndex, train_exclusion_index
+from repro.engine.index import top_k_indices
+from repro.models import BprMF, LightGCN, MultiVAE
+
+
+class TestUserItemIndex:
+    def test_items_sorted_and_deduped(self):
+        index = UserItemIndex(3, 5, users=[1, 1, 1, 0], items=[4, 2, 4, 0])
+        np.testing.assert_array_equal(index.items_for(0), [0])
+        np.testing.assert_array_equal(index.items_for(1), [2, 4])
+        np.testing.assert_array_equal(index.items_for(2), [])
+        assert index.nnz == 3
+
+    def test_counts_and_active_users(self):
+        index = UserItemIndex(4, 6, users=[0, 2, 2], items=[1, 3, 5])
+        np.testing.assert_array_equal(index.counts(), [1, 0, 2, 0])
+        np.testing.assert_array_equal(index.counts(np.array([2, 0])), [2, 1])
+        np.testing.assert_array_equal(index.users_with_items(), [0, 2])
+
+    def test_flat_pairs_cover_batch(self):
+        index = UserItemIndex(4, 6, users=[0, 2, 2], items=[1, 3, 5])
+        rows, cols = index.flat_pairs(np.array([2, 1, 0]))
+        np.testing.assert_array_equal(rows, [0, 0, 2])
+        np.testing.assert_array_equal(cols, [3, 5, 1])
+
+    def test_mask_matches_per_user_loop(self, tiny_split, rng):
+        """The satellite guarantee: flat-index masking == per-user masking."""
+        index = train_exclusion_index(tiny_split)
+        positives = tiny_split.train_positive_sets()
+        users = rng.choice(tiny_split.num_users, size=17, replace=False)
+
+        scores = rng.normal(size=(users.size, tiny_split.num_items))
+        expected = scores.copy()
+        for row, user in enumerate(users):
+            seen = positives[int(user)]
+            if seen:
+                expected[row, list(seen)] = -np.inf
+
+        index.mask(scores, users)
+        np.testing.assert_array_equal(scores, expected)
+
+    def test_membership_matches_sets(self, tiny_split):
+        index = train_exclusion_index(tiny_split)
+        positives = tiny_split.train_positive_sets()
+        users = np.arange(tiny_split.num_users)
+        matrix = index.membership(users)
+        for user in users:
+            assert set(np.nonzero(matrix[user])[0]) == positives[int(user)]
+
+    def test_split_cache_shared(self, tiny_split):
+        assert train_exclusion_index(tiny_split) is train_exclusion_index(tiny_split)
+        assert (UserItemIndex.from_split(tiny_split, "test")
+                is UserItemIndex.from_split(tiny_split, "test"))
+
+    def test_invalid_partition_rejected(self, tiny_split):
+        with pytest.raises(ValueError):
+            UserItemIndex.from_split(tiny_split, "nope")
+
+    def test_empty_batch(self):
+        index = UserItemIndex(3, 4, users=[], items=[])
+        rows, cols = index.flat_pairs(np.array([0, 1], dtype=np.int64))
+        assert rows.size == 0 and cols.size == 0
+        scores = np.ones((2, 4))
+        index.mask(scores, np.array([0, 1]))
+        np.testing.assert_array_equal(scores, np.ones((2, 4)))
+
+
+class TestTopKIndices:
+    def test_sorted_by_score(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        np.testing.assert_array_equal(top_k_indices(scores, 3)[0], [1, 3, 2])
+
+    def test_k_capped_at_items(self):
+        scores = np.array([[0.3, 0.1]])
+        assert top_k_indices(scores, 10).shape == (1, 2)
+
+
+class TestInferenceIndex:
+    def test_factorized_matches_score_users(self, tiny_split):
+        model = LightGCN(tiny_split, embedding_dim=8, num_layers=2, seed=0)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        assert index.is_factorized
+        users = np.array([0, 3, 5])
+        np.testing.assert_allclose(index.scores(users), model.score_users(users))
+
+    def test_scorer_fallback(self, tiny_split):
+        model = MultiVAE(tiny_split, embedding_dim=8, seed=0)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        assert not index.is_factorized
+        users = np.array([1, 2])
+        np.testing.assert_allclose(index.scores(users), model.score_users(users))
+
+    def test_masked_scores_match_per_user_masking(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        users = np.arange(min(12, tiny_split.num_users))
+
+        expected = np.asarray(model.score_users(users), dtype=np.float64).copy()
+        positives = tiny_split.train_positive_sets()
+        for row, user in enumerate(users):
+            seen = positives[int(user)]
+            if seen:
+                expected[row, list(seen)] = -np.inf
+
+        np.testing.assert_allclose(index.scores(users, mask_train=True), expected)
+
+    def test_embeddings_are_frozen_copies(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        index = InferenceIndex.from_model(model)
+        before = index.scores(np.array([0]))
+        model.user_factors.data += 100.0  # training continues...
+        np.testing.assert_allclose(index.scores(np.array([0])), before)
+
+    def test_score_pairs(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        users = np.array([0, 1, 2])
+        items = np.array([3, 0, 5])
+        full = model.score_users(users)
+        np.testing.assert_allclose(index.score_pairs(users, items),
+                                   full[np.arange(3), items])
+
+    def test_top_k_excludes_train_items(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        positives = tiny_split.train_positive_sets()
+        top = index.top_k(np.arange(tiny_split.num_users), k=5)
+        for user, row in enumerate(top):
+            assert not (set(int(i) for i in row) & positives[user])
+
+    def test_requires_scorer_or_embeddings(self):
+        with pytest.raises(ValueError):
+            InferenceIndex(3, 4)
+        with pytest.raises(ValueError):
+            InferenceIndex(3, 4, user_embeddings=np.zeros((3, 2)))
+
+    def test_dtype_configurable(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        index = InferenceIndex.from_model(model, dtype=np.float32)
+        assert index.scores(np.array([0])).dtype == np.float32
+
+    def test_masking_never_corrupts_scorer_owned_arrays(self, tiny_split):
+        """A scorer returning its own cached matrix must not get -inf
+        written back into it by a masked scores() call."""
+        cached = np.zeros((tiny_split.num_users, tiny_split.num_items))
+
+        class _CachedScorer:
+            split = tiny_split
+
+            def score_users(self, users):
+                return cached  # the scorer's own array, shared across calls
+
+        index = InferenceIndex.from_model(_CachedScorer(), tiny_split)
+        users = np.arange(tiny_split.num_users)
+        masked = index.scores(users, mask_train=True)
+        assert np.isneginf(masked).any()
+        assert np.isfinite(cached).all(), "scorer's cached array was corrupted"

@@ -1,0 +1,123 @@
+"""Tests for the RecommendationService (batching, LRU cache, refresh)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import RecommendationService
+from repro.models import BprMF
+
+
+@pytest.fixture()
+def model(tiny_split):
+    model = BprMF(tiny_split, embedding_dim=8, seed=2)
+    model.eval()
+    return model
+
+
+class TestTopK:
+    def test_batched_matches_unbatched(self, model, tiny_split):
+        users = np.arange(tiny_split.num_users)
+        small = RecommendationService(model, batch_size=7).top_k(users, 5)
+        large = RecommendationService(model, batch_size=10_000).top_k(users, 5)
+        np.testing.assert_array_equal(small, large)
+
+    def test_matches_model_recommend(self, model, tiny_split):
+        service = RecommendationService(model)
+        top = service.top_k(np.arange(5), 4)
+        for user in range(5):
+            assert list(top[user]) == model.recommend(user, k=4)
+
+    def test_exclude_train_toggle(self, model, tiny_split):
+        service = RecommendationService(model)
+        positives = tiny_split.train_positive_sets()
+        masked = service.top_k(np.arange(tiny_split.num_users), 5)
+        for user, row in enumerate(masked):
+            assert not (set(int(i) for i in row) & positives[user])
+
+    def test_invalid_arguments(self, model):
+        service = RecommendationService(model)
+        with pytest.raises(ValueError):
+            service.top_k(np.arange(3), 0)
+        with pytest.raises(ValueError):
+            service.top_k(np.arange(4).reshape(2, 2), 3)
+        with pytest.raises(ValueError):
+            RecommendationService()
+
+
+class TestCache:
+    def test_repeat_requests_hit_cache(self, model):
+        service = RecommendationService(model)
+        first = service.recommend(0, k=5)
+        second = service.recommend(0, k=5)
+        assert first == second
+        assert service.cache_hits == 1 and service.cache_misses == 1
+
+    def test_cache_keyed_by_k_and_exclusion(self, model):
+        service = RecommendationService(model)
+        service.recommend(0, k=5)
+        service.recommend(0, k=6)
+        service.recommend(0, k=5, exclude_train=False)
+        assert service.cache_misses == 3
+
+    def test_lru_eviction(self, model):
+        service = RecommendationService(model, cache_size=2)
+        service.recommend(0, k=3)
+        service.recommend(1, k=3)
+        service.recommend(2, k=3)  # evicts user 0
+        service.recommend(0, k=3)
+        assert service.cache_hits == 0 and service.cache_misses == 4
+
+    def test_cache_disabled(self, model):
+        service = RecommendationService(model, cache_size=0)
+        service.recommend(0, k=3)
+        service.recommend(0, k=3)
+        assert service.cache_hits == 0 and service.cache_misses == 2
+
+
+class TestRefresh:
+    def test_refresh_sees_new_weights(self, model):
+        service = RecommendationService(model)
+        before = service.recommend(0, k=3)
+        model.user_factors.data[:] = -model.user_factors.data
+        assert service.recommend(0, k=3) == before  # frozen snapshot
+        service.refresh()
+        np.testing.assert_allclose(service.index.user_embeddings,
+                                   model.user_factors.data)
+        assert service.cache_hits == 0 and service.cache_misses == 0
+
+    def test_exclusion_index_shared_across_refresh(self, model):
+        service = RecommendationService(model)
+        exclusion = service.exclusion
+        service.refresh()
+        assert service.exclusion is exclusion
+
+
+class TestModelIntegration:
+    def test_recommend_uses_cached_service_in_eval(self, model):
+        service = model.inference_service()
+        assert model.inference_service() is service
+        model.train()
+        model.eval()
+        assert model.inference_service() is not service
+
+    def test_score_pairs_matches_score_users(self, model, tiny_split):
+        users = np.array([0, 1, 2, 3])
+        items = np.array([1, 0, 2, 2])
+        full = np.asarray(model.score_users(users))
+        np.testing.assert_allclose(model.score_pairs(users, items),
+                                   full[np.arange(4), items])
+
+    def test_load_state_dict_invalidates_service(self, model, tiny_split):
+        state = model.state_dict()
+        before = model.recommend(0, k=5)
+        shifted = {name: value + 1.5 for name, value in state.items()}
+        model.load_state_dict(shifted)
+        fresh = np.asarray(model.score_users([0]))[0].copy()
+        # Served recommendations must come from the NEW weights, not the
+        # snapshot frozen before load_state_dict.
+        positives = tiny_split.train_positive_sets()[0]
+        fresh[list(positives)] = -np.inf
+        expected = list(np.argsort(-fresh, kind="stable")[:5])
+        assert model.recommend(0, k=5) == [int(i) for i in expected]
+        model.load_state_dict(state)
+        assert model.recommend(0, k=5) == before

@@ -20,7 +20,8 @@ class TestParser:
     def test_parser_has_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("train", "experiment", "models", "datasets", "experiments"):
+        for command in ("train", "recommend", "experiment", "models", "datasets",
+                        "experiments"):
             assert command in text
 
 
@@ -40,6 +41,35 @@ class TestListingCommands:
         assert main(["experiments"]) == 0
         output = capsys.readouterr().out
         assert "table2" in output and "fig6" in output
+
+
+class TestRecommendCommand:
+    def test_recommend_json_output(self, capsys):
+        code = main([
+            "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0,2", "-k", "4", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["recommendations"]) == {"0", "2"}
+        for items in payload["recommendations"].values():
+            assert len(items) == 4
+            assert len(set(items)) == 4
+
+    def test_recommend_text_output(self, capsys):
+        assert main([
+            "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "1", "-k", "3",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "user 1:" in output
+
+    def test_recommend_rejects_bad_user(self):
+        with pytest.raises(SystemExit):
+            main([
+                "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+                "--embedding-dim", "8", "--users", "100000",
+            ])
 
 
 class TestTrainCommand:
