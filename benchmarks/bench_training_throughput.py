@@ -1,0 +1,245 @@
+"""Benchmark — training-pipeline throughput on the Table-2 configuration.
+
+Times one epoch's worth of training-data work on the synthetic Table-2
+presets twice:
+
+* the **reference** path — the preserved pure-Python loop implementations
+  (:class:`repro.data.ReferenceNegativeSampler`,
+  :class:`repro.data.ReferenceBprBatchIterator`,
+  :class:`repro.data.ReferenceUserBatchIterator`), and
+* the **pipeline** path — the vectorized :mod:`repro.data.pipeline`
+  subsystem (flat-key CSR negative sampling via
+  :meth:`repro.engine.UserItemIndex.contains`, one-scatter dense user rows).
+
+Asserts a ≥ ``MIN_SPEEDUP``× speedup of the vectorized sampler and of the
+combined batch-iterator epoch, plus distributional parity:
+
+* negatives produced by the pipeline never collide with training positives;
+* the marginal over each probed user's non-positive items is uniform, and
+  matches the reference sampler's empirical marginal in total variation.
+
+Environment knobs:
+
+* ``REPRO_BENCH_DATASET`` — override the presets (e.g. ``tiny`` for the CI
+  smoke run; speedups are then reported but not asserted, since constant
+  overheads dominate on toy sizes).
+
+Run stand-alone with ``python benchmarks/bench_training_throughput.py`` or
+via pytest: ``pytest benchmarks/bench_training_throughput.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import (  # noqa: E402
+    BatchSpec,
+    BprPipeline,
+    NegativeSampler,
+    ReferenceBprBatchIterator,
+    ReferenceNegativeSampler,
+    ReferenceUserBatchIterator,
+    UserRowPipeline,
+    chronological_split,
+    dataset_preset,
+)
+from repro.engine import UserItemIndex  # noqa: E402
+
+TABLE2_DATASETS = ("mooc", "games")
+MIN_SPEEDUP = 5.0
+BPR_BATCH_SIZE = 2048
+ROW_BATCH_SIZE = 256
+NUM_NEGATIVES = 4
+#: Draws per probed user for the marginal-distribution parity check.
+PARITY_DRAWS = 40_000
+#: Total-variation tolerance between the two samplers' empirical marginals
+#: (expected TV of two size-N multinomials over K cells is ~sqrt(K/N)).
+PARITY_TV_TOL = 0.15
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return TABLE2_DATASETS
+
+
+def _assert_speedup():
+    """Only assert the 5x floor on the real Table-2 presets."""
+    return os.environ.get("REPRO_BENCH_DATASET") is None
+
+
+def _time(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _drain(iterable) -> None:
+    for _ in iterable:
+        pass
+
+
+# --------------------------------------------------------------------------- #
+# Parity
+# --------------------------------------------------------------------------- #
+def check_sampling_parity(split, seed: int = 0) -> float:
+    """Distribution checks of the vectorized sampler; returns the worst TV.
+
+    1. No sampled negative may be a training positive (exact, full epoch).
+    2. For the highest-degree users, the empirical marginal of the
+       vectorized sampler over non-positive items must (a) be uniform and
+       (b) match the reference loop sampler's marginal in total variation.
+    """
+    index = UserItemIndex.from_split(split, "train")
+    vectorized = NegativeSampler.from_split(split, rng=np.random.default_rng(seed))
+    reference = ReferenceNegativeSampler.from_split(split, rng=np.random.default_rng(seed + 1))
+    positive_sets = split.train_positive_sets()
+
+    # (1) exact no-collision over one epoch of multi-negative draws.
+    negatives = vectorized.sample(split.train_users, num_negatives=NUM_NEGATIVES)
+    assert not index.contains(split.train_users[:, None], negatives).any(), \
+        "vectorized sampler produced a negative that is a training positive"
+
+    # (2) marginal parity on the densest users (worst case for rejection).
+    degrees = index.counts()
+    probe_users = np.argsort(-degrees)[:3]
+    worst_tv = 0.0
+    for user in probe_users:
+        complement = split.num_items - int(degrees[user])
+        if complement <= 0:
+            continue
+        repeated = np.full(PARITY_DRAWS, user, dtype=np.int64)
+        vec_draws = vectorized.sample(repeated)
+        ref_draws = reference.sample(repeated)
+        assert not any(int(item) in positive_sets[int(user)] for item in vec_draws)
+
+        vec_freq = np.bincount(vec_draws, minlength=split.num_items) / PARITY_DRAWS
+        ref_freq = np.bincount(ref_draws, minlength=split.num_items) / PARITY_DRAWS
+        uniform = np.zeros(split.num_items)
+        non_positives = np.setdiff1d(np.arange(split.num_items), index.items_for(int(user)))
+        uniform[non_positives] = 1.0 / complement
+
+        tv_vs_uniform = 0.5 * np.abs(vec_freq - uniform).sum()
+        tv_vs_reference = 0.5 * np.abs(vec_freq - ref_freq).sum()
+        worst_tv = max(worst_tv, tv_vs_uniform, tv_vs_reference)
+        assert tv_vs_uniform <= PARITY_TV_TOL, (
+            f"user {user}: vectorized marginal deviates from uniform by "
+            f"TV={tv_vs_uniform:.3f} (> {PARITY_TV_TOL})")
+        assert tv_vs_reference <= PARITY_TV_TOL, (
+            f"user {user}: vectorized vs reference marginals differ by "
+            f"TV={tv_vs_reference:.3f} (> {PARITY_TV_TOL})")
+    return worst_tv
+
+
+# --------------------------------------------------------------------------- #
+# Throughput
+# --------------------------------------------------------------------------- #
+def run_training_throughput(datasets=None, repeats: int = 3):
+    """Measure both training-data paths; returns one row per dataset."""
+    rows = []
+    for name in (datasets or _datasets()):
+        split = chronological_split(dataset_preset(name, seed=0))
+        worst_tv = check_sampling_parity(split)
+
+        epoch_users = split.train_users
+        vec_sampler = NegativeSampler.from_split(split, rng=np.random.default_rng(0))
+        ref_sampler = ReferenceNegativeSampler.from_split(split, rng=np.random.default_rng(0))
+        vec_sampler_time = _time(
+            lambda: vec_sampler.sample(epoch_users, NUM_NEGATIVES), repeats)
+        ref_sampler_time = _time(
+            lambda: ref_sampler.sample(epoch_users, NUM_NEGATIVES), repeats)
+
+        vec_bpr = BprPipeline(split, BatchSpec(kind="bpr", batch_size=BPR_BATCH_SIZE),
+                              rng=np.random.default_rng(0))
+        ref_bpr = ReferenceBprBatchIterator(split, batch_size=BPR_BATCH_SIZE,
+                                            rng=np.random.default_rng(0))
+        vec_bpr_time = _time(lambda: _drain(vec_bpr), repeats)
+        ref_bpr_time = _time(lambda: _drain(ref_bpr), repeats)
+
+        vec_rows = UserRowPipeline(split, BatchSpec(kind="user_rows",
+                                                    batch_size=ROW_BATCH_SIZE),
+                                   rng=np.random.default_rng(0))
+        ref_rows = ReferenceUserBatchIterator(split, batch_size=ROW_BATCH_SIZE,
+                                              rng=np.random.default_rng(0))
+        vec_rows_time = _time(lambda: _drain(vec_rows), repeats)
+        ref_rows_time = _time(lambda: _drain(ref_rows), repeats)
+
+        reference_total = ref_sampler_time + ref_bpr_time + ref_rows_time
+        pipeline_total = vec_sampler_time + vec_bpr_time + vec_rows_time
+        rows.append({
+            "dataset": name,
+            "interactions": split.num_train,
+            "users": split.num_users,
+            "items": split.num_items,
+            "sampler_speedup": ref_sampler_time / vec_sampler_time,
+            "bpr_epoch_speedup": ref_bpr_time / vec_bpr_time,
+            "row_epoch_speedup": ref_rows_time / vec_rows_time,
+            "reference_ms": reference_total * 1e3,
+            "pipeline_ms": pipeline_total * 1e3,
+            "total_speedup": reference_total / pipeline_total,
+            "worst_tv": worst_tv,
+        })
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'nnz':>6} {'sampler':>9} {'bpr ep':>8} "
+              f"{'rows ep':>8} {'ref ms':>9} {'pipe ms':>9} {'total':>8} {'TV':>7}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['interactions']:>6d} "
+            f"{row['sampler_speedup']:>8.1f}x {row['bpr_epoch_speedup']:>7.1f}x "
+            f"{row['row_epoch_speedup']:>7.1f}x {row['reference_ms']:>9.2f} "
+            f"{row['pipeline_ms']:>9.2f} {row['total_speedup']:>7.1f}x "
+            f"{row['worst_tv']:>7.3f}")
+    return "\n".join(lines)
+
+
+def _check(rows) -> None:
+    if not _assert_speedup():
+        return
+    for row in rows:
+        assert row["sampler_speedup"] >= MIN_SPEEDUP, (
+            f"{row['dataset']}: vectorized sampler only "
+            f"{row['sampler_speedup']:.1f}x faster (target >= {MIN_SPEEDUP}x)")
+        assert row["total_speedup"] >= MIN_SPEEDUP, (
+            f"{row['dataset']}: pipeline epoch only "
+            f"{row['total_speedup']:.1f}x faster (target >= {MIN_SPEEDUP}x)")
+
+
+def test_training_throughput():
+    rows = run_training_throughput()
+    try:
+        from .conftest import print_block
+        print_block("Training throughput — vectorized pipeline vs reference loops",
+                    format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _check(rows)
+
+
+def main() -> int:
+    rows = run_training_throughput()
+    print(format_rows(rows))
+    _check(rows)
+    print("OK: sampling parity within tolerance"
+          + (f", speedup >= {MIN_SPEEDUP}x" if _assert_speedup() else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,12 +33,17 @@ def main() -> None:
     )
     print(f"model: {model} ({model.num_parameters()} parameters)")
 
-    # 3. Training with validation-based early stopping.
+    # 3. Training with validation-based early stopping.  Batching is owned
+    #    by the vectorized repro.data.pipeline subsystem: batch_size (and,
+    #    for multi-negative models, num_negatives) can be set here instead
+    #    of on the model, and negatives are sampled for whole batches at a
+    #    time against the engine's CSR index.
     config = TrainerConfig(
         learning_rate=0.005,
         epochs=30,
         early_stopping_patience=5,
         validation_metric="recall@20",
+        batch_size=1024,
         verbose=True,
     )
     history = Trainer(model, split, config).fit()

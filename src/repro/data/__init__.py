@@ -2,7 +2,21 @@
 
 from .dataset import DataSplit, InteractionDataset
 from .splits import chronological_split, k_core_filter, leave_last_out_split
-from .sampling import BprBatchIterator, NegativeSampler, UserBatchIterator
+from .pipeline import (
+    BatchPipeline,
+    BatchSpec,
+    BprPipeline,
+    MultiNegativePipeline,
+    NegativeSampler,
+    UserRowPipeline,
+    build_pipeline,
+)
+from .reference_sampling import (
+    ReferenceBprBatchIterator,
+    ReferenceNegativeSampler,
+    ReferenceUserBatchIterator,
+)
+from .sampling import BprBatchIterator, UserBatchIterator
 from .synthetic import PRESETS, SyntheticConfig, dataset_preset, generate_dataset, list_presets
 from .loaders import DATASET_CORE_SETTINGS, load_interactions_csv, prepare_split
 
@@ -12,9 +26,18 @@ __all__ = [
     "chronological_split",
     "k_core_filter",
     "leave_last_out_split",
+    "BatchPipeline",
+    "BatchSpec",
+    "BprPipeline",
+    "MultiNegativePipeline",
+    "UserRowPipeline",
+    "build_pipeline",
     "BprBatchIterator",
     "NegativeSampler",
     "UserBatchIterator",
+    "ReferenceBprBatchIterator",
+    "ReferenceNegativeSampler",
+    "ReferenceUserBatchIterator",
     "PRESETS",
     "SyntheticConfig",
     "dataset_preset",

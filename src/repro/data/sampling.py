@@ -1,145 +1,67 @@
-"""Negative sampling and mini-batch iteration for implicit feedback training.
+"""Back-compat batching entry points over :mod:`repro.data.pipeline`.
 
-The BPR-style models (BPR-MF, NGCF, LR-GCCF, LightGCN, IMP-GCN, LayerGCN)
-train on triples ``(u, i, j)`` where ``i`` is an observed interaction and
-``j`` a sampled negative (Section III-B, "The Loss Function").  UltraGCN uses
-multiple negatives per positive, and EHCF/MultiVAE consume whole interaction
-rows; all three access patterns are provided here.
+The real implementations — the fully vectorized :class:`NegativeSampler` and
+the :class:`~repro.data.pipeline.BatchPipeline` family — live in
+:mod:`repro.data.pipeline`; the historical pure-Python loop versions are
+preserved in :mod:`repro.data.reference_sampling` as the behavioural oracle.
+This module keeps the legacy class names, constructor signatures and batch
+shapes working (``BprBatchIterator(split, batch_size, num_negatives, rng)``
+and ``UserBatchIterator(split, batch_size, rng, shuffle)``) by mapping them
+onto pipeline specs, so existing construct-and-iterate callers upgrade to
+the vectorized path unchanged.  Two deliberate narrowings: ``num_negatives``
+/ ``shuffle`` are read-only properties now (the spec is frozen — build a new
+iterator to retune), and ``NegativeSampler`` exposes a CSR ``index`` instead
+of the old ``positive_sets`` list.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Optional
 
 import numpy as np
 
 from .dataset import DataSplit
+from .pipeline import BatchSpec, BprPipeline, NegativeSampler, UserRowPipeline
 
 __all__ = ["NegativeSampler", "BprBatchIterator", "UserBatchIterator"]
 
 
-class NegativeSampler:
-    """Samples items a user has *not* interacted with in the training data."""
+class BprBatchIterator(BprPipeline):
+    """Legacy name for :class:`repro.data.pipeline.BprPipeline`.
 
-    def __init__(self, positive_sets: Sequence[set], num_items: int,
-                 rng: Optional[np.random.Generator] = None) -> None:
-        if num_items <= 0:
-            raise ValueError("num_items must be positive")
-        self.positive_sets = list(positive_sets)
-        self.num_items = int(num_items)
-        self.rng = rng or np.random.default_rng()
-
-    @classmethod
-    def from_split(cls, split: DataSplit, rng: Optional[np.random.Generator] = None) -> "NegativeSampler":
-        return cls(split.train_positive_sets(), split.num_items, rng=rng)
-
-    def sample_one(self, user: int) -> int:
-        """One negative item for ``user`` via rejection sampling."""
-        positives = self.positive_sets[user]
-        if len(positives) >= self.num_items:
-            # Degenerate user that interacted with everything: fall back to a
-            # uniform item so training can proceed.
-            return int(self.rng.integers(self.num_items))
-        while True:
-            candidate = int(self.rng.integers(self.num_items))
-            if candidate not in positives:
-                return candidate
-
-    def sample(self, users: np.ndarray, num_negatives: int = 1) -> np.ndarray:
-        """Vectorised sampling: ``(len(users), num_negatives)`` negatives.
-
-        Candidates are drawn uniformly and re-drawn only where they collide
-        with a training positive, which is fast for the sparse datasets the
-        paper uses.
-        """
-        users = np.asarray(users, dtype=np.int64)
-        negatives = self.rng.integers(self.num_items, size=(users.size, num_negatives))
-        for row, user in enumerate(users):
-            positives = self.positive_sets[user]
-            if not positives:
-                continue
-            for col in range(num_negatives):
-                while int(negatives[row, col]) in positives:
-                    negatives[row, col] = self.rng.integers(self.num_items)
-        if num_negatives == 1:
-            return negatives[:, 0]
-        return negatives
-
-
-class BprBatchIterator:
-    """Iterates shuffled ``(users, pos_items, neg_items)`` mini-batches.
-
-    One pass over the iterator visits every training interaction exactly once
-    (one epoch), pairing each positive with a freshly sampled negative, which
-    mirrors the pairwise BPR training loop of the paper.
+    Keeps the historical batch shapes exactly: users/positives stay ``(B,)``
+    and negatives are ``(B,)`` for one negative or ``(B, n)`` for several
+    (``BprPipeline`` itself flattens multi-negative draws into aligned
+    triples for the pairwise ``train_step`` contract).
     """
 
     def __init__(self, split: DataSplit, batch_size: int = 1024,
                  num_negatives: int = 1,
                  rng: Optional[np.random.Generator] = None) -> None:
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        self.split = split
-        self.batch_size = int(batch_size)
-        self.num_negatives = int(num_negatives)
-        self.rng = rng or np.random.default_rng()
-        self.sampler = NegativeSampler.from_split(split, rng=self.rng)
+        super().__init__(split,
+                         BatchSpec(kind="bpr", batch_size=batch_size,
+                                   num_negatives=num_negatives),
+                         rng=rng)
 
-    def __len__(self) -> int:
-        return int(np.ceil(self.split.num_train / self.batch_size))
+    def __iter__(self):
+        return self._sampled_batches()
 
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
-        order = self.rng.permutation(self.split.num_train)
-        users = self.split.train_users[order]
-        items = self.split.train_items[order]
-        for start in range(0, users.size, self.batch_size):
-            batch_users = users[start:start + self.batch_size]
-            batch_items = items[start:start + self.batch_size]
-            batch_negatives = self.sampler.sample(batch_users, self.num_negatives)
-            yield batch_users, batch_items, batch_negatives
+    @property
+    def num_negatives(self) -> int:
+        return self.spec.num_negatives
 
 
-class UserBatchIterator:
-    """Iterates batches of user ids together with their binary interaction rows.
-
-    Used by the autoencoder-style baselines (MultiVAE, EHCF) that reconstruct
-    whole interaction vectors rather than scoring sampled pairs.
-    """
+class UserBatchIterator(UserRowPipeline):
+    """Legacy name for :class:`repro.data.pipeline.UserRowPipeline`."""
 
     def __init__(self, split: DataSplit, batch_size: int = 256,
                  rng: Optional[np.random.Generator] = None,
                  shuffle: bool = True) -> None:
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        self.split = split
-        self.batch_size = int(batch_size)
-        self.rng = rng or np.random.default_rng()
-        self.shuffle = shuffle
-        self._interaction_rows = self._build_rows(split)
+        super().__init__(split,
+                         BatchSpec(kind="user_rows", batch_size=batch_size,
+                                   shuffle=shuffle),
+                         rng=rng)
 
-    @staticmethod
-    def _build_rows(split: DataSplit) -> List[np.ndarray]:
-        rows: List[List[int]] = [[] for _ in range(split.num_users)]
-        for user, item in zip(split.train_users, split.train_items):
-            rows[int(user)].append(int(item))
-        return [np.asarray(sorted(set(items)), dtype=np.int64) for items in rows]
-
-    def interaction_row(self, user: int) -> np.ndarray:
-        """Dense binary vector of the user's training interactions."""
-        row = np.zeros(self.split.num_items, dtype=np.float64)
-        row[self._interaction_rows[user]] = 1.0
-        return row
-
-    def __len__(self) -> int:
-        return int(np.ceil(self.split.num_users / self.batch_size))
-
-    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
-        users = np.arange(self.split.num_users)
-        if self.shuffle:
-            users = self.rng.permutation(users)
-        for start in range(0, users.size, self.batch_size):
-            batch_users = users[start:start + self.batch_size]
-            matrix = np.zeros((batch_users.size, self.split.num_items), dtype=np.float64)
-            for row_index, user in enumerate(batch_users):
-                matrix[row_index, self._interaction_rows[int(user)]] = 1.0
-            yield batch_users, matrix
+    @property
+    def shuffle(self) -> bool:
+        return self.spec.shuffle

@@ -68,6 +68,9 @@ class ExperimentScale:
             eval_every=1,
             early_stopping_patience=self.early_stopping_patience,
             validation_ks=self.eval_ks,
+            # Batching is pipeline-owned: route the scale's batch size through
+            # the trainer so every model uses the same spec override.
+            batch_size=self.batch_size,
         )
         for key, value in overrides.items():
             setattr(config, key, value)
@@ -103,7 +106,13 @@ def train_and_evaluate(
                   seed=scale.seed)
     kwargs.update(model_kwargs or {})
     model = build_model(model_name, split, **kwargs)
-    config = scale.trainer_config(**(trainer_overrides or {}))
+    # Precedence: an explicit model-level batch_size (model_kwargs) beats the
+    # scale default that trainer_config bakes into the pipeline override;
+    # trainer_overrides beats both.
+    overrides = dict(trainer_overrides or {})
+    if "batch_size" not in overrides:
+        overrides["batch_size"] = kwargs["batch_size"]
+    config = scale.trainer_config(**overrides)
     trainer = Trainer(model, split, config, callbacks=callbacks)
     history = trainer.fit()
     evaluator = RankingEvaluator(split, ks=scale.eval_ks, metrics=("recall", "ndcg"))

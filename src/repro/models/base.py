@@ -7,7 +7,9 @@ them interchangeably.
 
 The contract:
 
-* ``make_batches(rng)`` yields training batches for one epoch.
+* ``batch_spec()`` declares the model's training-batch shape (a
+  :class:`repro.data.BatchSpec`); ``make_batches(rng)`` routes it through
+  the vectorized :mod:`repro.data.pipeline` subsystem and yields one epoch.
 * ``train_step(batch)`` returns the scalar loss :class:`Tensor` for a batch.
 * ``begin_epoch(epoch)`` is called once per epoch before batching (LayerGCN
   resamples its pruned adjacency here).
@@ -24,7 +26,8 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 import numpy as np
 
 from ..autograd import Module, Tensor
-from ..data import BprBatchIterator, DataSplit
+from ..data import BatchSpec, DataSplit, build_pipeline
+from ..data.pipeline import BatchPipeline
 from ..engine import RecommendationService
 
 __all__ = ["Recommender"]
@@ -59,17 +62,56 @@ class Recommender(Module):
         self.num_items = split.num_items
         self.embedding_dim = int(embedding_dim)
         self.batch_size = int(batch_size)
+        self.num_negatives = 1
         self.seed = int(seed)
         self.rng = np.random.default_rng(seed)
         self._service: Optional[RecommendationService] = None
+        self._pipeline: Optional[BatchPipeline] = None
+        self._pipeline_key = None
 
     # ------------------------------------------------------------------ #
     # Training protocol
     # ------------------------------------------------------------------ #
+    def batch_spec(self) -> BatchSpec:
+        """Declarative shape of this model's training batches.
+
+        Default: shuffled BPR ``(user, positive, negative)`` triples.
+        Subclasses with other access patterns (multi-negative matrices,
+        dense user rows) override this instead of hand-rolling iterators.
+        """
+        return BatchSpec(kind="bpr", batch_size=self.batch_size,
+                         num_negatives=self.num_negatives)
+
+    def configure_batching(self, batch_size: Optional[int] = None,
+                           num_negatives: Optional[int] = None) -> None:
+        """Apply trainer-level batching overrides (see ``TrainerConfig``).
+
+        Overrides persist on the model: they replace ``batch_size`` /
+        ``num_negatives`` for every later ``batch_spec()`` build, until the
+        next explicit call.  ``None`` leaves a setting unchanged.
+        """
+        if batch_size is not None:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            self.batch_size = int(batch_size)
+        if num_negatives is not None:
+            if num_negatives <= 0:
+                raise ValueError("num_negatives must be positive")
+            self.num_negatives = int(num_negatives)
+        self._pipeline = None
+
+    def training_pipeline(self, rng: Optional[np.random.Generator] = None) -> BatchPipeline:
+        """The model's batch pipeline (cached while spec and RNG are stable)."""
+        rng = rng if rng is not None else self.rng
+        key = (self.batch_spec(), id(rng))
+        if self._pipeline is None or self._pipeline_key != key:
+            self._pipeline = build_pipeline(self.split, self.batch_spec(), rng=rng)
+            self._pipeline_key = key
+        return self._pipeline
+
     def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
-        """Default: shuffled BPR (user, positive, negative) batches."""
-        return iter(BprBatchIterator(self.split, batch_size=self.batch_size,
-                                     rng=rng or self.rng))
+        """One epoch of training batches, routed through ``repro.data.pipeline``."""
+        return iter(self.training_pipeline(rng))
 
     def begin_epoch(self, epoch: int) -> None:
         """Hook invoked at the start of every training epoch."""

@@ -9,12 +9,12 @@ with a transfer-style prediction layer on top of the embeddings.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import Parameter, Tensor, init, no_grad
-from ..data import DataSplit, UserBatchIterator
+from ..data import BatchSpec, DataSplit
 from ..training.losses import l2_regularization
 from .base import Recommender
 
@@ -49,11 +49,10 @@ class EHCF(Recommender):
         self.prediction_weights = Parameter(np.ones(embedding_dim) / np.sqrt(embedding_dim),
                                             name="prediction_weights")
 
-        self._batcher = UserBatchIterator(split, batch_size=self.batch_size, rng=self.rng)
-
     # ------------------------------------------------------------------ #
-    def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
-        return iter(self._batcher)
+    def batch_spec(self) -> BatchSpec:
+        """Whole-row batches: EHCF reconstructs each user's full item row."""
+        return BatchSpec(kind="user_rows", batch_size=self.batch_size)
 
     def _predict_rows(self, users: np.ndarray) -> Tensor:
         """Scores of every item for the given users (dense, differentiable)."""

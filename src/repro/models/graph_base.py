@@ -6,7 +6,10 @@ LightGCN, LR-GCCF, NGCF, IMP-GCN and LayerGCN all share the same skeleton:
   :math:`X^0`),
 * linear propagation over a normalised bipartite adjacency,
 * a READOUT over layer embeddings,
-* a BPR + L2 objective over sampled (user, positive, negative) triples,
+* a BPR + L2 objective over sampled (user, positive, negative) triples —
+  the triples come from the base class's ``bpr`` batch spec, i.e. the
+  vectorized :class:`repro.data.BprPipeline` (CSR flat-key negative
+  sampling; see :mod:`repro.data.pipeline`),
 * full-ranking scoring as the dot product of final user and item embeddings.
 
 :class:`GraphRecommender` implements everything except the propagation rule,

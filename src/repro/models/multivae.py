@@ -7,13 +7,14 @@ ELBO (multinomial log-likelihood minus an annealed KL term).
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..autograd import Parameter, Tensor, init, no_grad
 from ..autograd.functional import dropout, log_softmax
-from ..data import DataSplit, UserBatchIterator
+from ..data import BatchSpec, DataSplit
+from ..engine import UserItemIndex
 from .base import Recommender
 
 __all__ = ["MultiVAE"]
@@ -63,11 +64,10 @@ class MultiVAE(Recommender):
         self.dec_w2 = Parameter(init.xavier_uniform((hidden_dim, num_items), rng=rng), name="dec_w2")
         self.dec_b2 = Parameter(np.zeros(num_items), name="dec_b2")
 
-        self._batcher = UserBatchIterator(split, batch_size=self.batch_size, rng=self.rng)
-
     # ------------------------------------------------------------------ #
-    def make_batches(self, rng: Optional[np.random.Generator] = None) -> Iterator:
-        return iter(self._batcher)
+    def batch_spec(self) -> BatchSpec:
+        """Dense user-row batches from the pipeline's CSR scatter."""
+        return BatchSpec(kind="user_rows", batch_size=self.batch_size)
 
     @staticmethod
     def _normalize_rows(rows: np.ndarray) -> np.ndarray:
@@ -106,7 +106,9 @@ class MultiVAE(Recommender):
     # ------------------------------------------------------------------ #
     def score_users(self, users: Sequence[int]) -> np.ndarray:
         users = np.asarray(users, dtype=np.int64)
-        rows = np.stack([self._batcher.interaction_row(int(user)) for user in users])
+        # One CSR scatter builds the whole input batch (shared split index).
+        rows = UserItemIndex.from_split(self.split, "train").dense_rows(
+            users, dtype=np.float64)
         with no_grad():
             inputs = Tensor(self._normalize_rows(rows))
             mu, _ = self._encode(inputs)

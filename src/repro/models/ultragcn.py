@@ -22,7 +22,7 @@ import scipy.sparse as sp
 
 from ..autograd import Parameter, Tensor, init
 from ..autograd.functional import logsigmoid
-from ..data import DataSplit
+from ..data import BatchSpec, DataSplit
 from ..training.losses import l2_regularization
 from .base import Recommender
 
@@ -56,7 +56,7 @@ class UltraGCN(Recommender):
                  gamma: float = 1.0, batch_size: int = 1024, seed: int = 0) -> None:
         super().__init__(split, embedding_dim=embedding_dim, batch_size=batch_size, seed=seed)
         self.l2_reg = float(l2_reg)
-        self.num_negatives = int(num_negatives)
+        self.num_negatives = int(num_negatives)  # consumed by batch_spec()
         self.negative_weight = float(negative_weight)
         self.item_graph_weight = float(item_graph_weight)
         self.gamma = float(gamma)
@@ -105,11 +105,22 @@ class UltraGCN(Recommender):
         return neighbors, weights
 
     # ------------------------------------------------------------------ #
+    def batch_spec(self) -> BatchSpec:
+        """Multi-negative batches: a ``(B, num_negatives)`` matrix per batch.
+
+        The pipeline's vectorized sampler guarantees the negatives avoid
+        each user's training positives (unlike the historical in-model
+        uniform draw), which matches the original UltraGCN sampler.
+        """
+        return BatchSpec(kind="multi_negative", batch_size=self.batch_size,
+                         num_negatives=self.num_negatives)
+
     def train_step(self, batch: Tuple[np.ndarray, np.ndarray, np.ndarray]) -> Tensor:
-        users, positives, _ = batch
+        users, positives, negatives = batch
         users = np.asarray(users, dtype=np.int64)
         positives = np.asarray(positives, dtype=np.int64)
-        negatives = self._sample_negatives(users)
+        negatives = np.asarray(negatives, dtype=np.int64).reshape(users.size, -1)
+        num_negatives = negatives.shape[1]
 
         user_embed = self.user_factors.gather_rows(users)
         positive_embed = self.item_factors.gather_rows(positives)
@@ -122,7 +133,7 @@ class UltraGCN(Recommender):
         # Sampled negatives: push scores of unobserved items down.
         negative_embed = self.item_factors.gather_rows(negatives.reshape(-1))
         negative_scores = (
-            user_embed.gather_rows(np.repeat(np.arange(users.size), self.num_negatives))
+            user_embed.gather_rows(np.repeat(np.arange(users.size), num_negatives))
             * negative_embed
         ).sum(axis=1)
         negative_loss = -logsigmoid(-negative_scores).mean() * self.negative_weight
@@ -143,9 +154,6 @@ class UltraGCN(Recommender):
             loss = loss + l2_regularization(user_embed, positive_embed,
                                             coefficient=self.l2_reg, normalize_by=users.size)
         return loss
-
-    def _sample_negatives(self, users: np.ndarray) -> np.ndarray:
-        return self.rng.integers(self.num_items, size=(users.size, self.num_negatives))
 
     # ------------------------------------------------------------------ #
     def user_item_embeddings(self) -> Tuple[np.ndarray, np.ndarray]:

@@ -38,6 +38,14 @@ class TrainerConfig:
     validation_metric: str = "recall@20"
     validation_ks: Sequence[int] = (10, 20, 50)
     eval_batch_size: int = 512
+    #: Training-batch overrides routed into the model's
+    #: :meth:`~repro.models.base.Recommender.batch_spec` via
+    #: ``configure_batching`` when the Trainer is constructed.  ``None``
+    #: leaves the model's current batching untouched; a set value persists
+    #: on the model after this trainer (the model is reconfigured, not
+    #: temporarily patched).
+    batch_size: Optional[int] = None
+    num_negatives: Optional[int] = None
     verbose: bool = False
     restore_best: bool = True
 
@@ -88,6 +96,9 @@ class Trainer:
         self.split = split
         self.config = config or TrainerConfig()
         self.callbacks = list(callbacks or [])
+        if self.config.batch_size is not None or self.config.num_negatives is not None:
+            model.configure_batching(batch_size=self.config.batch_size,
+                                     num_negatives=self.config.num_negatives)
         self.optimizer = self._build_optimizer()
         metric, k = self._parse_metric(self.config.validation_metric)
         ks = sorted(set(list(self.config.validation_ks) + [k]))
@@ -117,6 +128,19 @@ class Trainer:
         return metric, int(k)
 
     # ------------------------------------------------------------------ #
+    def _validate_epoch(self, epoch: int, history: TrainingHistory) -> bool:
+        """Evaluate one epoch on the validation split; True on improvement."""
+        self.model.eval()
+        result = self.evaluator.evaluate(self.model, which="valid")
+        score = result.values.get(self._monitor_key, 0.0)
+        history.validation_scores[epoch] = score
+        history.validation_results[epoch] = result
+        if score > history.best_score:
+            history.best_score = score
+            history.best_epoch = epoch
+            return True
+        return False
+
     def fit(self) -> TrainingHistory:
         """Run the full training loop and return its history."""
         history = TrainingHistory()
@@ -140,14 +164,7 @@ class Trainer:
             history.epoch_losses.append(epoch_loss)
 
             if epoch % self.config.eval_every == 0 and self.split.num_valid > 0:
-                self.model.eval()
-                result = self.evaluator.evaluate(self.model, which="valid")
-                score = result.values.get(self._monitor_key, 0.0)
-                history.validation_scores[epoch] = score
-                history.validation_results[epoch] = result
-                if score > history.best_score:
-                    history.best_score = score
-                    history.best_epoch = epoch
+                if self._validate_epoch(epoch, history):
                     epochs_without_improvement = 0
                     if self.config.restore_best:
                         best_state = self.model.state_dict()
@@ -166,6 +183,15 @@ class Trainer:
                     and epochs_without_improvement >= self.config.early_stopping_patience):
                 history.stopped_early = True
                 break
+
+        # With eval_every > 1 the final trained epoch can fall between
+        # validation points; evaluate it before restoring so best_epoch /
+        # early-stop accounting sees every epoch that was actually trained.
+        final_epoch = history.num_epochs_run
+        if (final_epoch >= 1 and final_epoch not in history.validation_scores
+                and self.split.num_valid > 0):
+            if self._validate_epoch(final_epoch, history) and self.config.restore_best:
+                best_state = self.model.state_dict()
 
         if self.config.restore_best and best_state is not None:
             self.model.load_state_dict(best_state)

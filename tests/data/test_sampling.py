@@ -64,6 +64,15 @@ class TestBprBatchIterator:
         with pytest.raises(ValueError):
             BprBatchIterator(tiny_split, batch_size=0)
 
+    def test_legacy_multi_negative_shape_preserved(self, tiny_split):
+        # The shim keeps the historical shapes: (B,) users with a (B, n)
+        # negatives matrix, NOT the pipeline's flattened aligned triples.
+        iterator = BprBatchIterator(tiny_split, batch_size=32, num_negatives=4,
+                                    rng=np.random.default_rng(0))
+        users, positives, negatives = next(iter(iterator))
+        assert users.shape == positives.shape == (32,)
+        assert negatives.shape == (32, 4)
+
     def test_shuffling_changes_order(self, tiny_split):
         a = BprBatchIterator(tiny_split, batch_size=tiny_split.num_train,
                              rng=np.random.default_rng(0))

@@ -69,6 +69,56 @@ class TestUserItemIndex:
         index.mask(scores, np.array([0, 1]))
         np.testing.assert_array_equal(scores, np.ones((2, 4)))
 
+    def test_flat_keys_sorted_and_complete(self, tiny_split):
+        index = train_exclusion_index(tiny_split)
+        keys = index.flat_keys
+        assert keys.size == index.nnz
+        assert np.all(np.diff(keys) > 0)  # strictly sorted unique pairs
+        expected = set()
+        for user, item in zip(tiny_split.train_users, tiny_split.train_items):
+            expected.add(int(user) * tiny_split.num_items + int(item))
+        assert set(keys.tolist()) == expected
+
+    def test_contains_matches_sets(self, tiny_split, rng):
+        index = train_exclusion_index(tiny_split)
+        positives = tiny_split.train_positive_sets()
+        users = rng.integers(tiny_split.num_users, size=40)
+        candidates = rng.integers(tiny_split.num_items, size=(40, 7))
+        result = index.contains(users[:, None], candidates)
+        assert result.shape == (40, 7)
+        for row, user in enumerate(users):
+            for col in range(7):
+                expected = int(candidates[row, col]) in positives[int(user)]
+                assert result[row, col] == expected
+
+    def test_contains_searchsorted_fallback_matches_dense(self):
+        """Id spaces above the dense-table limit use the flat-key search."""
+        users = [0, 1, 9000, 9000]
+        items = [5, 9999, 0, 123]
+        big = UserItemIndex(10_000, 10_000, users=users, items=items)  # 1e8 cells
+        assert big._dense_membership() is None
+        probe_users = np.array([0, 0, 1, 9000, 9000, 42])
+        probe_items = np.array([5, 6, 9999, 123, 124, 42])
+        expected = np.array([True, False, True, True, False, False])
+        np.testing.assert_array_equal(big.contains(probe_users, probe_items), expected)
+
+    def test_contains_rejects_out_of_range_ids_in_both_branches(self):
+        small = UserItemIndex(3, 4, users=[0, 1], items=[1, 0])  # dense table
+        big = UserItemIndex(10_000, 10_000, users=[0, 1], items=[5, 0])  # flat keys
+        for index in (small, big):
+            with pytest.raises(IndexError):
+                index.contains(np.array([0]), np.array([index.num_items]))
+            with pytest.raises(IndexError):
+                index.contains(np.array([0]), np.array([-1]))
+            with pytest.raises(IndexError):
+                index.contains(np.array([index.num_users]), np.array([0]))
+
+    def test_contains_on_empty_index(self):
+        index = UserItemIndex(3, 4, users=[], items=[])
+        result = index.contains(np.array([[0], [1]]), np.array([[1, 2], [0, 3]]))
+        assert result.shape == (2, 2)
+        assert not result.any()
+
 
 class TestTopKIndices:
     def test_sorted_by_score(self):

@@ -22,7 +22,23 @@ from repro.experiments import (
     run_experiment,
     run_table1,
 )
+from repro.experiments.common import train_and_evaluate
 from repro.experiments.overall import TABLE2_MODELS, format_table2, run_table2
+
+
+class TestTrainAndEvaluateBatchingPrecedence:
+    def test_model_kwargs_batch_size_wins_over_scale(self, tiny_split, quick_scale):
+        quick_scale.epochs = 1
+        model, _, _ = train_and_evaluate("bpr", tiny_split, quick_scale,
+                                         model_kwargs={"batch_size": 64})
+        assert model.batch_size == 64
+
+    def test_trainer_overrides_batch_size_wins_over_model_kwargs(self, tiny_split, quick_scale):
+        quick_scale.epochs = 1
+        model, _, _ = train_and_evaluate("bpr", tiny_split, quick_scale,
+                                         model_kwargs={"batch_size": 64},
+                                         trainer_overrides={"batch_size": 32})
+        assert model.batch_size == 32
 
 
 class TestRegistry:

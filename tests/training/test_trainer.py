@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.models import BprMF, build_model
+from repro.models import BprMF, MultiVAE, build_model
 from repro.training import (
     LayerSimilarityRecorder,
     LayerWeightRecorder,
@@ -40,6 +40,26 @@ class TestTrainerBasics:
         config = TrainerConfig(epochs=4, eval_every=2, early_stopping_patience=0)
         history = Trainer(model, tiny_split, config).fit()
         assert set(history.validation_scores) == {2, 4}
+
+    def test_final_epoch_evaluated_when_off_cadence(self, tiny_split):
+        # epochs % eval_every != 0: the last trained epoch must still be
+        # validated (before best-weight restore) so best_epoch accounting
+        # sees every epoch that was actually trained.
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=5, eval_every=2, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert set(history.validation_scores) == {2, 4, 5}
+        assert history.best_epoch in {2, 4, 5}
+
+    def test_final_epoch_eval_can_win_best(self, tiny_split):
+        # With eval_every larger than the epoch budget, the only validation
+        # point is the final one added by the post-loop check.
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=3, eval_every=10, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert set(history.validation_scores) == {3}
+        assert history.best_epoch == 3
+        assert history.best_score == history.validation_scores[3]
 
     def test_early_stopping_halts_training(self, tiny_split):
         model = BprMF(tiny_split, embedding_dim=8, seed=0)
@@ -89,6 +109,73 @@ class TestTrainerConfigValidation:
         config = TrainerConfig(epochs=1, validation_metric="ndcg@10")
         history = Trainer(model, tiny_split, config).fit()
         assert 1 in history.validation_scores
+
+
+class TestConfigBatchingOverrides:
+    def test_batch_size_override_reaches_pipeline(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, batch_size=1024, seed=0)
+        Trainer(model, tiny_split, TrainerConfig(epochs=1, batch_size=16))
+        assert model.batch_size == 16
+        assert model.batch_spec().batch_size == 16
+        users, _, _ = next(iter(model.make_batches()))
+        assert users.size <= 16
+
+    def test_num_negatives_override_reaches_spec(self, tiny_split):
+        model = build_model("ultragcn", tiny_split, embedding_dim=8, seed=0)
+        Trainer(model, tiny_split, TrainerConfig(epochs=1, num_negatives=3))
+        assert model.batch_spec().num_negatives == 3
+        users, _, negatives = next(iter(model.make_batches()))
+        assert negatives.shape == (users.size, 3)
+
+    def test_num_negatives_override_works_for_pairwise_models(self, tiny_split):
+        # The generic override must not break 1-d pairwise train_steps: the
+        # BPR pipeline flattens (B, n) draws into n aligned triples.
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        config = TrainerConfig(epochs=1, num_negatives=2, early_stopping_patience=0)
+        history = Trainer(model, tiny_split, config).fit()
+        assert history.num_epochs_run == 1
+        assert all(np.isfinite(loss) for loss in history.batch_losses[0])
+
+    def test_no_override_keeps_model_defaults(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, batch_size=128, seed=0)
+        Trainer(model, tiny_split, TrainerConfig(epochs=1))
+        assert model.batch_size == 128
+
+    def test_invalid_override_rejected(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=0)
+        with pytest.raises(ValueError):
+            model.configure_batching(batch_size=0)
+        with pytest.raises(ValueError):
+            model.configure_batching(num_negatives=-1)
+
+
+class TestSeededDeterminism:
+    """Same TrainerConfig + seed ⇒ identical batch losses, run to run."""
+
+    def test_bpr_model_batch_losses_reproducible(self, tiny_split):
+        config = TrainerConfig(epochs=3, early_stopping_patience=0)
+        runs = []
+        for _ in range(2):
+            model = BprMF(tiny_split, embedding_dim=8, seed=42)
+            runs.append(Trainer(model, tiny_split, config).fit())
+        assert runs[0].batch_losses == runs[1].batch_losses
+        assert runs[0].validation_scores == runs[1].validation_scores
+
+    def test_user_row_model_batch_losses_reproducible(self, tiny_split):
+        config = TrainerConfig(epochs=2, early_stopping_patience=0)
+        runs = []
+        for _ in range(2):
+            model = MultiVAE(tiny_split, embedding_dim=8, batch_size=16, seed=7)
+            runs.append(Trainer(model, tiny_split, config).fit())
+        assert runs[0].batch_losses == runs[1].batch_losses
+
+    def test_different_seeds_diverge(self, tiny_split):
+        config = TrainerConfig(epochs=1, early_stopping_patience=0)
+        first = Trainer(BprMF(tiny_split, embedding_dim=8, seed=0),
+                        tiny_split, config).fit()
+        second = Trainer(BprMF(tiny_split, embedding_dim=8, seed=1),
+                         tiny_split, config).fit()
+        assert first.batch_losses != second.batch_losses
 
 
 class TestCallbacks:
