@@ -1,0 +1,45 @@
+"""Benchmark JSON artifacts: machine-readable results for CI upload.
+
+When the ``REPRO_BENCH_JSON`` environment variable names a directory, every
+benchmark dumps its result rows there as ``<benchmark>.json`` so the CI
+workflow can attach them to the run (``actions/upload-artifact``) and
+regressions can be diffed across pushes.  Without the variable the helper is
+a no-op, keeping local runs side-effect free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Optional
+
+
+def write_artifact(name: str, payload) -> Optional[Path]:
+    """Write ``payload`` as ``$REPRO_BENCH_JSON/<name>.json`` (or skip).
+
+    The payload is wrapped with enough provenance (python/numpy versions,
+    the dataset override in effect) to interpret the numbers later; NumPy
+    scalars serialise through ``default=float``.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_JSON")
+    if not out_dir:
+        return None
+    import numpy as np
+
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    document = {
+        "benchmark": name,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "dataset_override": os.environ.get("REPRO_BENCH_DATASET"),
+        "results": payload,
+    }
+    path = directory / f"{name}.json"
+    path.write_text(json.dumps(document, indent=2, default=float) + "\n")
+    print(f"[artifacts] wrote {path}", file=sys.stderr)
+    return path

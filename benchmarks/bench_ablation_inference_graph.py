@@ -6,7 +6,6 @@ This benchmark quantifies that choice by scoring the same trained LayerGCN
 with both operators.
 """
 
-import numpy as np
 
 from repro.eval import RankingEvaluator
 from repro.experiments import format_table, load_splits

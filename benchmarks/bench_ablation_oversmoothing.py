@@ -8,7 +8,6 @@ quantity) and drift from the ego layer — for both models at shallow and deep
 settings.
 """
 
-import numpy as np
 
 from repro.analysis import smoothing_report
 from repro.experiments import format_table, load_splits

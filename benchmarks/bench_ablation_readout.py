@@ -11,7 +11,6 @@ The LayerGCN variants are obtained by comparing against LightGCN configured to
 mimic each alternative.
 """
 
-import numpy as np
 
 from repro.experiments import format_table, load_splits, train_and_evaluate
 

@@ -128,6 +128,14 @@ def _check(rows) -> None:
                 f"{row['speedup']:.1f}x faster (target >= {MIN_SPEEDUP}x)")
 
 
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    write_artifact("bench_engine_throughput", rows)
+
+
 def test_engine_throughput():
     rows = run_engine_throughput()
     try:
@@ -136,12 +144,14 @@ def test_engine_throughput():
                     format_rows(rows))
     except ImportError:  # pragma: no cover - direct script execution
         print(format_rows(rows))
+    _write_artifact(rows)
     _check(rows)
 
 
 def main() -> int:
     rows = run_engine_throughput()
     print(format_rows(rows))
+    _write_artifact(rows)
     _check(rows)
     print("OK: metric parity within 1e-9"
           + (f", speedup >= {MIN_SPEEDUP}x" if _assert_speedup() else ""))

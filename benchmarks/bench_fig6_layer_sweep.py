@@ -6,7 +6,6 @@ shallow depth and then degrades (over-smoothing) while LayerGCN keeps or
 improves its accuracy as depth grows.
 """
 
-import numpy as np
 
 from repro.experiments import format_layer_sweep, run_layer_sweep
 

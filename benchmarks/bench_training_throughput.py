@@ -221,6 +221,14 @@ def _check(rows) -> None:
             f"{row['total_speedup']:.1f}x faster (target >= {MIN_SPEEDUP}x)")
 
 
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    write_artifact("bench_training_throughput", rows)
+
+
 def test_training_throughput():
     rows = run_training_throughput()
     try:
@@ -229,12 +237,14 @@ def test_training_throughput():
                     format_rows(rows))
     except ImportError:  # pragma: no cover - direct script execution
         print(format_rows(rows))
+    _write_artifact(rows)
     _check(rows)
 
 
 def main() -> int:
     rows = run_training_throughput()
     print(format_rows(rows))
+    _write_artifact(rows)
     _check(rows)
     print("OK: sampling parity within tolerance"
           + (f", speedup >= {MIN_SPEEDUP}x" if _assert_speedup() else ""))

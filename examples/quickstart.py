@@ -66,6 +66,20 @@ def main() -> None:
     service.recommend(0, k=5)  # second call is served from the LRU cache
     print(f"service state: {service!r}")
 
+    # 6. Sharded serving: past the single-worker memory wall the item
+    #    catalogue partitions item-wise into S shards; each shard ranks its
+    #    own candidates and the exact merge reproduces the unsharded ranking
+    #    bit-for-bit.  parallel=True fans shard scoring out over threads
+    #    (the per-shard matmul releases the GIL).  Same flags on the CLI:
+    #    `repro recommend --shards 4 --parallel`.
+    from repro.engine import RecommendationService
+
+    sharded = RecommendationService(model, split, num_shards=4, parallel=True)
+    sharded_top5 = sharded.top_k(range(3), k=5)
+    assert (batch_top5 == sharded_top5).all(), "sharding must be exact"
+    print(f"sharded service (identical results): {sharded!r}")
+    sharded.close()
+
 
 if __name__ == "__main__":
     main()

@@ -72,6 +72,17 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("-k", "--top-k", type=int, default=10, dest="top_k")
     recommend.add_argument("--include-train", action="store_true",
                            help="do not exclude items seen during training")
+    recommend.add_argument("--shards", type=int, default=1,
+                           help="partition the item catalogue into this many shards "
+                                "and serve via fan-out/merge (exact results; "
+                                "default 1 = unsharded)")
+    recommend.add_argument("--shard-policy", default="contiguous",
+                           choices=["contiguous", "strided"],
+                           help="item partitioning policy for --shards")
+    recommend.add_argument("--parallel", action="store_true",
+                           help="fan sharded scoring out over a thread pool "
+                                "(shard scoring releases the GIL); requires "
+                                "--shards > 1")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
 
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
@@ -137,6 +148,11 @@ def _command_recommend(args: argparse.Namespace) -> int:
     # Validate cheap arguments before any dataset/model/training work.
     if args.top_k <= 0:
         raise SystemExit("error: -k/--top-k must be a positive integer")
+    if args.shards <= 0:
+        raise SystemExit("error: --shards must be a positive integer")
+    if args.parallel and args.shards <= 1:
+        raise SystemExit("error: --parallel fans out shard scoring and "
+                         "requires --shards > 1")
     try:
         users = [int(u) for u in args.users.split(",") if u.strip() != ""]
     except ValueError:
@@ -159,7 +175,17 @@ def _command_recommend(args: argparse.Namespace) -> int:
         Trainer(model, split, config).fit()
     model.eval()
 
-    service = model.inference_service()
+    if args.shards > 1:
+        from .engine import RecommendationService
+        try:
+            service = RecommendationService(
+                model, split, num_shards=args.shards,
+                shard_policy=args.shard_policy, parallel=args.parallel)
+        except ValueError as error:
+            # e.g. a scorer-fallback model (no item matrix to partition).
+            raise SystemExit(f"error: {error}")
+    else:
+        service = model.inference_service()
     top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
                         exclude_train=not args.include_train)
 
@@ -167,6 +193,8 @@ def _command_recommend(args: argparse.Namespace) -> int:
         "model": args.model,
         "dataset": args.dataset,
         "k": args.top_k,
+        "shards": args.shards,
+        "parallel": bool(args.parallel),
         "recommendations": {str(u): [int(i) for i in row]
                             for u, row in zip(users, top)},
     }

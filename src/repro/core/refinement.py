@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-import numpy as np
 
 from ..autograd import Tensor
 from ..autograd.functional import row_cosine_similarity, scale_rows

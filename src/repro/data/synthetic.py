@@ -26,7 +26,7 @@ paper's DegreeDrop analysis (Fig. 4) and dense-vs-sparse comparisons rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -19,6 +19,14 @@ models into a fast, reusable serving path:
 * :class:`RecommendationService` — batched ``top_k`` / ``score_pairs`` APIs
   with an LRU result cache; the serving front-end used by the CLI, the
   examples and ``Recommender.recommend``.
+* :class:`ShardedInferenceIndex` — item-partitioned serving for catalogues
+  that outgrow one worker: the frozen item matrix splits into S shards
+  (contiguous or strided), each shard ranks its own top-k candidates with a
+  locally sliced exclusion index, and an exact merge re-ranks the pooled
+  S·k candidates — identical results to the unsharded path.  Fan-out runs
+  through an executor seam (:class:`SerialExecutor` default,
+  :class:`ThreadedExecutor` for GIL-releasing BLAS parallelism); the
+  service exposes it via ``num_shards=…``/``parallel=True``.
 
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
@@ -30,6 +38,13 @@ and :class:`RecommendationService`.
 from .propagation import PropagationEngine
 from .index import InferenceIndex, UserItemIndex, train_exclusion_index
 from .service import RecommendationService
+from .sharding import (
+    ItemShard,
+    SerialExecutor,
+    ShardedInferenceIndex,
+    ThreadedExecutor,
+    partition_items,
+)
 
 __all__ = [
     "PropagationEngine",
@@ -37,4 +52,9 @@ __all__ = [
     "UserItemIndex",
     "train_exclusion_index",
     "RecommendationService",
+    "ShardedInferenceIndex",
+    "ItemShard",
+    "SerialExecutor",
+    "ThreadedExecutor",
+    "partition_items",
 ]

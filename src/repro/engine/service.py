@@ -6,6 +6,12 @@ anything that wants recommendations — the CLI, the examples,
 snapshot, exclusion index, top-K partition) are built once and reused across
 requests.  Repeated single-user requests hit an LRU cache keyed by
 ``(user, k, exclude_train)``.
+
+With ``num_shards > 1`` the service routes every request through a
+:class:`repro.engine.sharding.ShardedInferenceIndex` — the item catalogue is
+partitioned item-wise, each shard ranks its own candidates, and the exact
+merge reproduces the unsharded ranking.  ``parallel=True`` swaps the serial
+fan-out for a thread pool (shard scoring is BLAS-bound and releases the GIL).
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from .index import InferenceIndex, UserItemIndex
+from .sharding import SerialExecutor, ShardedInferenceIndex, ThreadedExecutor
 
 __all__ = ["RecommendationService"]
 
@@ -37,12 +44,25 @@ class RecommendationService:
         the dense ``(batch, num_items)`` score block.
     cache_size:
         Capacity of the per-user LRU result cache (0 disables caching).
+    num_shards:
+        Partition the item catalogue into this many shards and serve through
+        the fan-out/merge path (1 keeps the single-matrix path).
+    shard_policy:
+        ``"contiguous"`` (default) or ``"strided"`` item partitioning.
+    parallel:
+        Fan shard requests out over a thread pool instead of serially.
+        Only meaningful with ``num_shards > 1``.
+    executor:
+        Explicit fan-out executor (overrides ``parallel``); any object with
+        ``run(tasks) -> results`` and ``close()``.
     """
 
     def __init__(self, model=None, split=None, *,
                  index: Optional[InferenceIndex] = None,
                  dtype=np.float64, batch_size: int = 1024,
-                 cache_size: int = 4096) -> None:
+                 cache_size: int = 4096, num_shards: int = 1,
+                 shard_policy: str = "contiguous", parallel: bool = False,
+                 executor=None) -> None:
         if index is None:
             if model is None:
                 raise ValueError("provide a model or a prebuilt InferenceIndex")
@@ -50,9 +70,23 @@ class RecommendationService:
         self.index = index
         self.batch_size = int(batch_size)
         self.cache_size = int(cache_size)
+        self.num_shards = int(num_shards)
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if parallel and self.num_shards <= 1:
+            raise ValueError("parallel=True fans out shard scoring and "
+                             "requires num_shards > 1")
+        self.shard_policy = shard_policy
+        self._executor = executor if executor is not None else (
+            ThreadedExecutor() if parallel else SerialExecutor())
         self._model = model
         self._split = split
         self._dtype = dtype
+        self._sharded: Optional[ShardedInferenceIndex] = None
+        if self.num_shards > 1:
+            self._sharded = ShardedInferenceIndex.from_index(
+                index, self.num_shards, policy=shard_policy,
+                executor=self._executor)
         self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
@@ -70,6 +104,16 @@ class RecommendationService:
     def exclusion(self) -> Optional[UserItemIndex]:
         return self.index.exclusion
 
+    @property
+    def sharded(self) -> Optional[ShardedInferenceIndex]:
+        """The sharded backend, or ``None`` on the single-matrix path."""
+        return self._sharded
+
+    @property
+    def _backend(self):
+        """Where requests go: the sharded fan-out or the plain index."""
+        return self._sharded if self._sharded is not None else self.index
+
     def refresh(self, model=None) -> "RecommendationService":
         """Re-freeze the model's embeddings (after more training) and clear the cache."""
         model = model if model is not None else self._model
@@ -78,6 +122,12 @@ class RecommendationService:
         self._model = model
         self.index = InferenceIndex.from_model(
             model, self._split, dtype=self._dtype, exclusion=self.index.exclusion)
+        if self.num_shards > 1:
+            # Re-shard the fresh snapshot; the executor (and its thread pool)
+            # carries over so refresh never leaks worker threads.
+            self._sharded = ShardedInferenceIndex.from_index(
+                self.index, self.num_shards, policy=self.shard_policy,
+                executor=self._executor)
         self.clear_cache()
         return self
 
@@ -101,10 +151,11 @@ class RecommendationService:
         if k <= 0:
             raise ValueError("k must be positive")
         width = min(k, self.num_items)
+        backend = self._backend
         out = np.empty((users.size, width), dtype=np.int64)
         for start in range(0, users.size, self.batch_size):
             block = users[start:start + self.batch_size]
-            out[start:start + block.size] = self.index.top_k(
+            out[start:start + block.size] = backend.top_k(
                 block, k, exclude_train=exclude_train)
         return out
 
@@ -120,7 +171,7 @@ class RecommendationService:
                 return list(cached)
         self.cache_misses += 1
         items = [int(item) for item in
-                 self.index.top_k([int(user)], k, exclude_train=exclude_train)[0]]
+                 self._backend.top_k([int(user)], k, exclude_train=exclude_train)[0]]
         if self.cache_size > 0:
             self._cache[key] = tuple(items)
             if len(self._cache) > self.cache_size:
@@ -129,9 +180,15 @@ class RecommendationService:
 
     def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
         """Scores of aligned (user, item) pairs — O(batch · dim) when factorised."""
-        return self.index.score_pairs(users, items)
+        return self._backend.score_pairs(users, items)
+
+    def close(self) -> None:
+        """Release fan-out resources (the threaded executor's pool)."""
+        self._executor.close()
 
     def __repr__(self) -> str:
-        return (f"RecommendationService(index={self.index!r}, "
+        backend = (f", shards={self.num_shards}({self.shard_policy}), "
+                   f"executor={self._executor!r}" if self._sharded else "")
+        return (f"RecommendationService(index={self.index!r}{backend}, "
                 f"batch_size={self.batch_size}, cache_size={self.cache_size}, "
                 f"hits={self.cache_hits}, misses={self.cache_misses})")

@@ -11,10 +11,9 @@ user with more time can turn them up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..data import DataSplit, prepare_split
 from ..eval import EvaluationResult, RankingEvaluator

@@ -8,7 +8,7 @@ DegreeDrop probabilities hard to differentiate.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 

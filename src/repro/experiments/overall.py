@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from ..eval import paired_t_test
 from .common import DATASET_NAMES, ExperimentScale, format_table, load_splits, metric_keys, train_and_evaluate

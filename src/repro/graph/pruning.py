@@ -17,7 +17,7 @@ pruned propagation matrix from it via
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

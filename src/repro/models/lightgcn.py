@@ -15,8 +15,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..autograd import Parameter, Tensor, init
-from ..autograd.functional import softmax, stack
+from ..autograd import Parameter, Tensor
+from ..autograd.functional import softmax
 from ..data import DataSplit
 from .graph_base import GraphRecommender
 

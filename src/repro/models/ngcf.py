@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import List
 
-import numpy as np
 
 from ..autograd import Parameter, Tensor, init
 from ..autograd.functional import concat, dropout

@@ -9,7 +9,7 @@ uses for it, so the benchmark harness can instantiate them uniformly:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
 
 from ..data import DataSplit
 from .base import Recommender

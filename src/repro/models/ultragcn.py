@@ -15,7 +15,7 @@ the top neighbours of each item.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

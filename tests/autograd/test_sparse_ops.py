@@ -1,7 +1,6 @@
 """Tests for the sparse-dense propagation product."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.autograd import SparseTensor, Tensor, sparse_matmul

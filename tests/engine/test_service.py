@@ -73,6 +73,29 @@ class TestCache:
         service.recommend(0, k=3)
         assert service.cache_hits == 0 and service.cache_misses == 2
 
+    def test_lru_eviction_respects_recency_order(self, model):
+        """A cache hit refreshes recency: the least-recently-USED entry goes."""
+        service = RecommendationService(model, cache_size=2)
+        service.recommend(0, k=3)  # cache: [0]
+        service.recommend(1, k=3)  # cache: [0, 1]
+        service.recommend(0, k=3)  # hit — recency now [1, 0]
+        service.recommend(2, k=3)  # evicts user 1, NOT user 0
+        assert service.cache_hits == 1
+        service.recommend(0, k=3)  # still cached
+        assert service.cache_hits == 2
+        service.recommend(1, k=3)  # was evicted -> miss
+        assert service.cache_misses == 4
+
+    def test_clear_cache_drops_entries_and_resets_stats(self, model):
+        service = RecommendationService(model)
+        service.recommend(0, k=3)
+        service.recommend(0, k=3)
+        assert service.cache_hits == 1
+        service.clear_cache()
+        assert service.cache_hits == 0 and service.cache_misses == 0
+        service.recommend(0, k=3)
+        assert service.cache_hits == 0 and service.cache_misses == 1
+
 
 class TestRefresh:
     def test_refresh_sees_new_weights(self, model):
@@ -90,6 +113,43 @@ class TestRefresh:
         exclusion = service.exclusion
         service.refresh()
         assert service.exclusion is exclusion
+
+    def test_refresh_invalidates_cached_results(self, model):
+        """Stale cached lists must never survive a snapshot refresh."""
+        service = RecommendationService(model)
+        before = service.recommend(0, k=3)
+        model.user_factors.data[:] = -model.user_factors.data
+        service.refresh()
+        after = service.recommend(0, k=3)
+        assert service.cache_hits == 0 and service.cache_misses == 1
+        assert after != before  # negated embeddings invert the ranking
+
+
+class TestShardedService:
+    """Sharded and unsharded services must be interchangeable."""
+
+    def test_identical_recommendations_for_identical_seeds(self, tiny_split):
+        results = []
+        for num_shards in (1, 3):
+            model = BprMF(tiny_split, embedding_dim=8, seed=11)
+            model.eval()
+            service = RecommendationService(model, num_shards=num_shards)
+            results.append([service.recommend(u, k=5)
+                            for u in range(tiny_split.num_users)])
+        assert results[0] == results[1]
+
+    def test_sharded_cache_serves_sharded_results(self, model):
+        service = RecommendationService(model, num_shards=4, cache_size=8)
+        first = service.recommend(2, k=4)
+        second = service.recommend(2, k=4)
+        assert first == second
+        assert service.cache_hits == 1 and service.cache_misses == 1
+
+    def test_sharded_refresh_clears_cache(self, model):
+        service = RecommendationService(model, num_shards=4)
+        service.recommend(0, k=3)
+        service.refresh()
+        assert service.cache_hits == 0 and service.cache_misses == 0
 
 
 class TestModelIntegration:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.graph import BipartiteGraph, DegreeDrop, DropEdge, EdgeDropout, MixedDrop, build_edge_dropout
+from repro.graph import BipartiteGraph, DegreeDrop, DropEdge, MixedDrop, build_edge_dropout
 
 
 @pytest.fixture()

@@ -72,6 +72,52 @@ class TestRecommendCommand:
             ])
 
 
+class TestShardedRecommend:
+    BASE = ["recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0,2", "-k", "4", "--json"]
+
+    def _payload(self, capsys, extra):
+        assert main(self.BASE + extra) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_sharded_matches_unsharded(self, capsys):
+        unsharded = self._payload(capsys, [])
+        for extra in (["--shards", "4"],
+                      ["--shards", "7", "--shard-policy", "strided"],
+                      ["--shards", "3", "--parallel"]):
+            payload = self._payload(capsys, extra)
+            assert payload["recommendations"] == unsharded["recommendations"]
+
+    def test_payload_reports_sharding(self, capsys):
+        payload = self._payload(capsys, ["--shards", "2", "--parallel"])
+        assert payload["shards"] == 2 and payload["parallel"] is True
+
+    def test_rejects_non_positive_shards(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--shards", "0"])
+
+    def test_rejects_parallel_without_shards(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(self.BASE + ["--parallel"])
+
+    def test_non_factorized_model_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="factorised"):
+            main([
+                "recommend", "--model", "multivae", "--dataset", "tiny",
+                "--epochs", "0", "--embedding-dim", "8", "--users", "0",
+                "--shards", "2",
+            ])
+
+    def test_help_documents_sharding_flags(self):
+        import argparse
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        text = subparsers.choices["recommend"].format_help()
+        assert "--shards" in text and "--parallel" in text
+        assert "--shard-policy" in text
+
+
 class TestTrainCommand:
     def test_train_json_output(self, capsys, tmp_path):
         code = main([
