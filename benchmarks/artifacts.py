@@ -5,6 +5,12 @@ benchmark dumps its result rows there as ``<benchmark>.json`` so the CI
 workflow can attach them to the run (``actions/upload-artifact``) and
 regressions can be diffed across pushes.  Without the variable the helper is
 a no-op, keeping local runs side-effect free.
+
+Every document is keyed for cross-PR trajectory comparison: the dataset
+preset(s) the numbers were measured on, the git commit they were measured
+at, and an ISO-8601 UTC wall-clock timestamp.  Two ``BENCH_*.json`` files
+are comparable iff their ``preset`` matches; ``git_sha`` orders them along
+the history.
 """
 
 from __future__ import annotations
@@ -12,17 +18,38 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional
 
 
-def write_artifact(name: str, payload) -> Optional[Path]:
+def git_sha() -> Optional[str]:
+    """Commit the numbers were measured at (CI env var, then git, else None)."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return probe.stdout.strip() if probe.returncode == 0 else None
+
+
+def write_artifact(name: str, payload, *,
+                   preset: Optional[str] = None) -> Optional[Path]:
     """Write ``payload`` as ``$REPRO_BENCH_JSON/<name>.json`` (or skip).
 
-    The payload is wrapped with enough provenance (python/numpy versions,
-    the dataset override in effect) to interpret the numbers later; NumPy
-    scalars serialise through ``default=float``.
+    The payload is wrapped with enough provenance to key the numbers across
+    PRs (preset, git SHA, timestamp) and to interpret them later
+    (python/numpy versions, the dataset override in effect); NumPy scalars
+    serialise through ``default=float``.  ``preset`` should name the dataset
+    preset(s) the benchmark actually ran on — it falls back to the
+    ``REPRO_BENCH_DATASET`` override when omitted.
     """
     out_dir = os.environ.get("REPRO_BENCH_JSON")
     if not out_dir:
@@ -33,6 +60,9 @@ def write_artifact(name: str, payload) -> Optional[Path]:
     directory.mkdir(parents=True, exist_ok=True)
     document = {
         "benchmark": name,
+        "preset": preset or os.environ.get("REPRO_BENCH_DATASET"),
+        "git_sha": git_sha(),
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "platform": platform.platform(),

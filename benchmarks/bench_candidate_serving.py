@@ -1,0 +1,208 @@
+"""Benchmark — two-stage candidate serving: certificate gate + cost profile.
+
+Serves batched top-K through the quantised-candidates + exact-rescoring
+pipeline (:mod:`repro.engine.candidates`) in both precisions (``int8``,
+``float32``) and under item sharding S in {1, 4}, against the exact float64
+single-stage path as the oracle, and gates three things:
+
+* **Certified parity (the CI gate).**  Whenever a batch's certificate fires
+  (the best pruned upper bound fell below the k-th rescored score), the
+  two-stage result must achieve recall@k == 1.0 against the exact oracle —
+  a certificate that fires on a wrong result is a soundness bug and fails
+  the build.  Uncertified batches report their measured recall.
+* **Certificate usefulness.**  float32-mode bounds are within a hair of
+  machine precision, so on every preset they must certify (nearly) every
+  user — a certificate that never fires is vacuous.
+* **Serving cost.**  Per ISSUE gate: the pipeline must beat the exact
+  float64 path by >= 2x top-K throughput or >= 3x snapshot memory in at
+  least one mode.  int8 snapshots are ~6x smaller at dim 64 (1 code byte
+  per weight + two float vectors per item), so the gate holds deterministically;
+  throughput is additionally reported per mode for trend tracking.
+
+Environment knobs: ``REPRO_BENCH_DATASET`` (e.g. ``tiny`` for the CI smoke
+run) and ``REPRO_BENCH_JSON`` (artifact directory, see ``artifacts.py``).
+
+Run stand-alone with ``python benchmarks/bench_candidate_serving.py`` or via
+pytest: ``pytest benchmarks/bench_candidate_serving.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import chronological_split, dataset_preset  # noqa: E402
+from repro.engine import (  # noqa: E402
+    CandidateIndex,
+    InferenceIndex,
+    ShardedCandidateIndex,
+    ShardedInferenceIndex,
+)
+from repro.models import LightGCN  # noqa: E402
+
+MODES = ("int8", "float32")
+SHARD_COUNTS = (1, 4)
+DEFAULT_DATASETS = ("mooc", "games")
+TOP_K = 10
+CANDIDATE_FACTOR = 4
+
+MIN_THROUGHPUT_RATIO = 2.0   # two-stage vs exact float64, any mode ...
+MIN_MEMORY_REDUCTION = 3.0   # ... OR quantised vs float64 snapshot, any mode
+MIN_FLOAT32_CERTIFIED = 0.9  # float32 bounds must certify nearly everyone
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return DEFAULT_DATASETS
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_index(name: str) -> InferenceIndex:
+    split = chronological_split(dataset_preset(name, seed=0))
+    model = LightGCN(split, embedding_dim=64, num_layers=3, seed=0)
+    model.eval()
+    return InferenceIndex.from_model(model, split)
+
+
+def _recall(got: np.ndarray, oracle: np.ndarray) -> np.ndarray:
+    """Per-user fraction of oracle top-K ids recovered by the pipeline."""
+    hits = (got[:, :, None] == oracle[:, None, :]).any(axis=1)
+    return hits.mean(axis=1)
+
+
+def run_candidate_serving(datasets=None, repeats: int = 3):
+    """Certificate-check and profile every (dataset, mode, shards) cell."""
+    rows = []
+    for name in (datasets or _datasets()):
+        index = _build_index(name)
+        users = np.arange(index.num_users, dtype=np.int64)
+        oracle = index.top_k(users, TOP_K)
+        exact_s = _time(lambda: index.top_k(users, TOP_K), repeats)
+        exact_bytes = index.item_embeddings.nbytes
+
+        for mode in MODES:
+            for num_shards in SHARD_COUNTS:
+                if num_shards == 1:
+                    backend = CandidateIndex(index, mode, CANDIDATE_FACTOR)
+                else:
+                    backend = ShardedCandidateIndex(
+                        ShardedInferenceIndex.from_index(index, num_shards),
+                        mode, CANDIDATE_FACTOR)
+                ids, certificate = backend.top_k_with_certificate(users, TOP_K)
+                recall = _recall(ids, oracle)
+
+                certified = certificate.certified
+                # THE gate: a fired certificate guarantees exhaustive-search
+                # parity.  recall@k == 1.0 on every certified user, always.
+                assert recall[certified].size == 0 or (
+                    recall[certified] == 1.0).all(), (
+                    f"{name}/{mode}/S={num_shards}: certificate fired on a "
+                    f"result with recall@{TOP_K} < 1.0 — bound soundness bug")
+                uncertified_recall = (float(recall[~certified].mean())
+                                      if (~certified).any() else None)
+
+                elapsed = _time(lambda: backend.top_k(users, TOP_K), repeats)
+                rows.append({
+                    "dataset": name,
+                    "users": int(index.num_users),
+                    "items": int(index.num_items),
+                    "mode": mode,
+                    "shards": num_shards,
+                    "factor": CANDIDATE_FACTOR,
+                    "k": TOP_K,
+                    "certified_frac": float(certificate.fraction_certified),
+                    "recall": float(recall.mean()),
+                    "uncertified_recall": uncertified_recall,
+                    "exact_ms": exact_s * 1e3,
+                    "two_stage_ms": elapsed * 1e3,
+                    "throughput_ratio": exact_s / elapsed,
+                    "exact_bytes": int(exact_bytes),
+                    "quantized_bytes": int(backend.quantized_nbytes),
+                    "memory_reduction": exact_bytes / backend.quantized_nbytes,
+                })
+
+        # float32 bounds are near machine precision; if they cannot certify
+        # this preset the certificate machinery is broken (vacuity gate).
+        for row in rows:
+            if row["dataset"] == name and row["mode"] == "float32":
+                assert row["certified_frac"] >= MIN_FLOAT32_CERTIFIED, (
+                    f"{name}/float32/S={row['shards']}: only "
+                    f"{row['certified_frac']:.1%} of users certified — "
+                    f"float32 bounds should certify nearly everyone")
+
+        best_throughput = max(row["throughput_ratio"] for row in rows
+                              if row["dataset"] == name)
+        best_memory = max(row["memory_reduction"] for row in rows
+                          if row["dataset"] == name)
+        assert (best_throughput >= MIN_THROUGHPUT_RATIO
+                or best_memory >= MIN_MEMORY_REDUCTION), (
+            f"{name}: two-stage serving won neither the throughput gate "
+            f"(best {best_throughput:.2f}x, need {MIN_THROUGHPUT_RATIO}x) nor "
+            f"the snapshot-memory gate (best {best_memory:.2f}x, need "
+            f"{MIN_MEMORY_REDUCTION}x)")
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'mode':>8} {'S':>3} {'cert%':>6} "
+              f"{'recall':>7} {'exact ms':>9} {'2stage ms':>10} "
+              f"{'thru':>6} {'mem':>6}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['mode']:>8} {row['shards']:>3d} "
+            f"{row['certified_frac']:>6.1%} {row['recall']:>7.4f} "
+            f"{row['exact_ms']:>9.2f} {row['two_stage_ms']:>10.2f} "
+            f"{row['throughput_ratio']:>5.2f}x {row['memory_reduction']:>5.2f}x")
+    return "\n".join(lines)
+
+
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    preset = ",".join(sorted({row["dataset"] for row in rows}))
+    write_artifact("bench_candidate_serving", rows, preset=preset)
+
+
+def test_candidate_serving():
+    rows = run_candidate_serving()
+    try:
+        from .conftest import print_block
+        print_block("Two-stage candidate serving — certified quantised top-K",
+                    format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _write_artifact(rows)
+
+
+def main() -> int:
+    rows = run_candidate_serving()
+    print(format_rows(rows))
+    _write_artifact(rows)
+    print(f"OK: certified batches exact, modes={MODES}, shards={SHARD_COUNTS}, "
+          f"factor={CANDIDATE_FACTOR}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

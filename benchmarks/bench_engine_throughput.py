@@ -133,7 +133,8 @@ def _write_artifact(rows) -> None:
         from .artifacts import write_artifact
     except ImportError:  # pragma: no cover - direct script execution
         from artifacts import write_artifact
-    write_artifact("bench_engine_throughput", rows)
+    preset = ",".join(sorted({row["dataset"] for row in rows}))
+    write_artifact("bench_engine_throughput", rows, preset=preset)
 
 
 def test_engine_throughput():

@@ -83,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fan sharded scoring out over a thread pool "
                                 "(shard scoring releases the GIL); requires "
                                 "--shards > 1")
+    recommend.add_argument("--candidates", default=None,
+                           choices=["int8", "float32"], dest="candidates",
+                           help="serve through the two-stage pipeline: "
+                                "quantised candidate generation in this "
+                                "precision, then exact rescoring with a "
+                                "per-batch exactness certificate (default: "
+                                "exact single-stage serving)")
+    recommend.add_argument("--candidate-factor", type=int, default=4,
+                           help="stage-1 candidates per user as a multiple "
+                                "of K (only with --candidates; must be >= 1)")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
 
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
@@ -153,6 +163,8 @@ def _command_recommend(args: argparse.Namespace) -> int:
     if args.parallel and args.shards <= 1:
         raise SystemExit("error: --parallel fans out shard scoring and "
                          "requires --shards > 1")
+    if args.candidate_factor < 1:
+        raise SystemExit("error: --candidate-factor must be a positive integer")
     try:
         users = [int(u) for u in args.users.split(",") if u.strip() != ""]
     except ValueError:
@@ -175,14 +187,17 @@ def _command_recommend(args: argparse.Namespace) -> int:
         Trainer(model, split, config).fit()
     model.eval()
 
-    if args.shards > 1:
+    if args.shards > 1 or args.candidates is not None:
         from .engine import RecommendationService
         try:
             service = RecommendationService(
                 model, split, num_shards=args.shards,
-                shard_policy=args.shard_policy, parallel=args.parallel)
+                shard_policy=args.shard_policy, parallel=args.parallel,
+                candidate_mode=args.candidates,
+                candidate_factor=args.candidate_factor)
         except ValueError as error:
-            # e.g. a scorer-fallback model (no item matrix to partition).
+            # e.g. a scorer-fallback model (no item matrix to partition or
+            # quantise).
             raise SystemExit(f"error: {error}")
     else:
         service = model.inference_service()
@@ -198,12 +213,19 @@ def _command_recommend(args: argparse.Namespace) -> int:
         "recommendations": {str(u): [int(i) for i in row]
                             for u, row in zip(users, top)},
     }
+    if args.candidates is not None:
+        payload["candidates"] = service.certificate_stats
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(f"{args.model} on {args.dataset} — {service!r}")
         for user, row in zip(users, top):
             print(f"user {user}: {[int(i) for i in row]}")
+        if args.candidates is not None:
+            stats = service.certificate_stats
+            print(f"certificates: {stats['certified_users']}/{stats['users']} "
+                  f"users certified exact "
+                  f"({stats['mode']}, factor {stats['factor']})")
     return 0
 
 

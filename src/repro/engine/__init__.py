@@ -28,15 +28,37 @@ models into a fast, reusable serving path:
   :class:`ThreadedExecutor` for GIL-releasing BLAS parallelism); the
   service exposes it via ``num_shards=…``/``parallel=True``.
 
+* :class:`CandidateIndex` / :class:`ShardedCandidateIndex` — two-stage
+  top-K for catalogues where even one full-precision pass per request is too
+  expensive: stage 1 scores a quantised item matrix (symmetric per-item int8
+  codes + scale vectors, or a float32 cast) and keeps ``candidate_factor*k``
+  candidates under a Cauchy–Schwarz upper bound with cached item norms;
+  stage 2 rescores only the candidates in the index dtype and re-ranks
+  exactly.  Every batch carries a :class:`Certificate`: when the best pruned
+  upper bound falls below the k-th rescored score the result provably equals
+  exhaustive search.  The exact path stays the default and the oracle; the
+  service exposes the pipeline via ``candidate_mode=…``/``candidate_factor=…``
+  and composes it with sharding (per-shard quantised blocks, certified
+  merge).
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
 the ``dtype`` arguments on :class:`PropagationEngine`, :class:`InferenceIndex`
-and :class:`RecommendationService`.
+and :class:`RecommendationService` — and to quantised int8 candidate blocks
+via ``candidate_mode="int8"``.
 """
 
 from .propagation import PropagationEngine
 from .index import InferenceIndex, UserItemIndex, train_exclusion_index
+from .candidates import (
+    CANDIDATE_MODES,
+    CandidateIndex,
+    Certificate,
+    QuantizedItemBlock,
+    ShardedCandidateIndex,
+    quantize_item_matrix,
+)
 from .service import RecommendationService
 from .sharding import (
     ItemShard,
@@ -57,4 +79,10 @@ __all__ = [
     "SerialExecutor",
     "ThreadedExecutor",
     "partition_items",
+    "CANDIDATE_MODES",
+    "CandidateIndex",
+    "ShardedCandidateIndex",
+    "Certificate",
+    "QuantizedItemBlock",
+    "quantize_item_matrix",
 ]

@@ -19,6 +19,7 @@ from any scorer, including test doubles.
 
 from __future__ import annotations
 
+import threading
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +37,13 @@ _SPLIT_INDEX_CACHE = "_engine_user_item_indexes"
 #: materialises a dense boolean lookup table (64M cells ≈ 64 MB).  Above it,
 #: membership falls back to a binary search over the sorted flat keys.
 _DENSE_MEMBERSHIP_CELLS = 1 << 26
+
+#: Largest batch the reusable :meth:`InferenceIndex.top_k` score buffer will
+#: grow to (matches the RecommendationService default ``batch_size``).  Bigger
+#: one-shot batches allocate a fresh matrix instead, so a single
+#: score-everyone call never pins ``num_users x num_items`` floats for the
+#: life of the index.
+_SCORE_BUFFER_MAX_ROWS = 1024
 
 
 def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
@@ -290,6 +298,9 @@ class InferenceIndex:
             self.user_embeddings = None
             self.item_embeddings = None
         self.exclusion = exclusion
+        self._item_norms: Optional[np.ndarray] = None
+        self._score_buffer: Optional[np.ndarray] = None
+        self._score_buffer_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -318,6 +329,23 @@ class InferenceIndex:
     @property
     def is_factorized(self) -> bool:
         return self.user_embeddings is not None
+
+    @property
+    def item_norms(self) -> np.ndarray:
+        """Cached per-item L2 embedding norms (float64, frozen).
+
+        The Cauchy–Schwarz bound behind two-stage candidate serving
+        (``u · e_i <= ||u|| · ||e_i||``) prunes against these, so they are
+        computed once per snapshot and shared by every quantised block.
+        """
+        if not self.is_factorized:
+            raise ValueError("item norms require a factorised InferenceIndex")
+        if self._item_norms is None:
+            norms = np.linalg.norm(
+                self.item_embeddings.astype(np.float64, copy=False), axis=1)
+            norms.setflags(write=False)
+            self._item_norms = norms
+        return self._item_norms
 
     # ------------------------------------------------------------------ #
     def scores(self, users: Sequence[int], mask_train: bool = False) -> np.ndarray:
@@ -355,12 +383,72 @@ class InferenceIndex:
                              self.item_embeddings[items])
         return self.scores(users)[np.arange(users.size), items]
 
+    def rescore(self, users: Sequence[int], item_lists: np.ndarray) -> np.ndarray:
+        """Exact scores of per-user candidate lists, in the index dtype.
+
+        ``item_lists`` is ``(len(users), m)`` — row ``b`` holds the candidate
+        item ids of ``users[b]`` — and the result has the same shape.  This is
+        the stage-2 rescoring hook of the two-stage candidate pipeline
+        (:mod:`repro.engine.candidates`): only ``m`` items per user are scored
+        instead of the whole catalogue.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        item_lists = np.asarray(item_lists, dtype=np.int64)
+        if item_lists.ndim != 2 or item_lists.shape[0] != users.size:
+            raise ValueError("item_lists must have shape (len(users), m)")
+        if self.is_factorized:
+            return np.einsum("bd,bmd->bm", self.user_embeddings[users],
+                             self.item_embeddings[item_lists])
+        return np.take_along_axis(self.scores(users), item_lists, axis=1)
+
+    def _buffered_scores(self, users: np.ndarray) -> np.ndarray:
+        """Score batch written into a reusable per-index buffer.
+
+        ``top_k`` is the hot serving path; recomputing it per request used to
+        allocate a fresh ``batch × num_items`` matrix every time.  The buffer
+        grows to the largest batch seen — capped at
+        ``_SCORE_BUFFER_MAX_ROWS`` so one-shot score-everyone calls fall back
+        to a fresh allocation instead of pinning a catalogue-sized matrix —
+        and is reused (``np.matmul(..., out=)`` overwrites every cell, so
+        stale masking never leaks between calls).  The returned view is only
+        valid until the next ``top_k`` call and is never handed out by the
+        public ``scores`` API.  Callers must hold ``_score_buffer_lock``.
+        """
+        rows = users.size
+        if self._score_buffer is None or self._score_buffer.shape[0] < rows:
+            self._score_buffer = np.empty((rows, self.num_items), dtype=self.dtype)
+        block = self._score_buffer[:rows]
+        np.matmul(self.user_embeddings[users], self.item_embeddings.T, out=block)
+        return block
+
     def top_k(self, users: Sequence[int], k: int,
               exclude_train: bool = True) -> np.ndarray:
-        """Top-``k`` item ids per user, best first, shape ``(len(users), k)``."""
+        """Top-``k`` item ids per user, best first, shape ``(len(users), k)``.
+
+        Thread-safe: the reusable score buffer is claimed with a
+        non-blocking lock, and a contending (or oversized) call simply pays
+        the historical fresh allocation instead of waiting or racing.
+        """
         users = np.asarray(users, dtype=np.int64)
-        scores = self.scores(users, mask_train=exclude_train)
-        return top_k_indices(scores, k)
+        if not self.is_factorized:
+            scores = self.scores(users, mask_train=exclude_train)
+            return top_k_indices(scores, k)
+        buffered = (users.size <= _SCORE_BUFFER_MAX_ROWS
+                    and self._score_buffer_lock.acquire(blocking=False))
+        try:
+            if buffered:
+                scores = self._buffered_scores(users)
+            else:
+                scores = self.user_embeddings[users] @ self.item_embeddings.T
+            if exclude_train:
+                if self.exclusion is None:
+                    raise ValueError(
+                        "no exclusion index attached to this InferenceIndex")
+                self.exclusion.mask(scores, users)
+            return top_k_indices(scores, k)
+        finally:
+            if buffered:
+                self._score_buffer_lock.release()
 
     def recommend(self, user: int, k: int = 10,
                   exclude_train: bool = True) -> List[int]:

@@ -12,6 +12,14 @@ With ``num_shards > 1`` the service routes every request through a
 partitioned item-wise, each shard ranks its own candidates, and the exact
 merge reproduces the unsharded ranking.  ``parallel=True`` swaps the serial
 fan-out for a thread pool (shard scoring is BLAS-bound and releases the GIL).
+
+With ``candidate_mode`` set (``"int8"`` or ``"float32"``) top-K requests run
+the two-stage pipeline of :mod:`repro.engine.candidates`: a quantised
+candidate stage selects ``candidate_factor * k`` items per user, an exact
+stage rescores and re-ranks them, and every batch carries a certificate
+saying whether the result provably equals exhaustive search.  The exact path
+stays the default (``candidate_mode=None``) and the correctness oracle;
+``certificate_stats`` aggregates how often served batches were certified.
 """
 
 from __future__ import annotations
@@ -21,6 +29,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .candidates import CandidateIndex, ShardedCandidateIndex
 from .index import InferenceIndex, UserItemIndex
 from .sharding import SerialExecutor, ShardedInferenceIndex, ThreadedExecutor
 
@@ -55,6 +64,13 @@ class RecommendationService:
     executor:
         Explicit fan-out executor (overrides ``parallel``); any object with
         ``run(tasks) -> results`` and ``close()``.
+    candidate_mode:
+        ``None`` (default) serves exact top-K.  ``"int8"`` / ``"float32"``
+        switch top-K to the two-stage quantised-candidates + exact-rescoring
+        pipeline with per-batch exactness certificates.
+    candidate_factor:
+        Candidates kept per user in stage 1, as a multiple of ``k``
+        (``candidate_factor * k``); must be >= 1.
     """
 
     def __init__(self, model=None, split=None, *,
@@ -62,7 +78,8 @@ class RecommendationService:
                  dtype=np.float64, batch_size: int = 1024,
                  cache_size: int = 4096, num_shards: int = 1,
                  shard_policy: str = "contiguous", parallel: bool = False,
-                 executor=None) -> None:
+                 executor=None, candidate_mode: Optional[str] = None,
+                 candidate_factor: int = 4) -> None:
         if index is None:
             if model is None:
                 raise ValueError("provide a model or a prebuilt InferenceIndex")
@@ -77,6 +94,8 @@ class RecommendationService:
             raise ValueError("parallel=True fans out shard scoring and "
                              "requires num_shards > 1")
         self.shard_policy = shard_policy
+        self.candidate_mode = candidate_mode
+        self.candidate_factor = int(candidate_factor)
         self._executor = executor if executor is not None else (
             ThreadedExecutor() if parallel else SerialExecutor())
         self._model = model
@@ -87,9 +106,22 @@ class RecommendationService:
             self._sharded = ShardedInferenceIndex.from_index(
                 index, self.num_shards, policy=shard_policy,
                 executor=self._executor)
+        self._candidates = self._build_candidates()
         self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def _build_candidates(self):
+        """The two-stage backend for the current snapshot (or ``None``)."""
+        if self.candidate_mode is None:
+            if self.candidate_factor < 1:
+                raise ValueError("candidate_factor must be a positive integer")
+            return None
+        if self._sharded is not None:
+            return ShardedCandidateIndex(self._sharded, self.candidate_mode,
+                                         self.candidate_factor)
+        return CandidateIndex(self.index, self.candidate_mode,
+                              self.candidate_factor)
 
     # ------------------------------------------------------------------ #
     @property
@@ -110,8 +142,31 @@ class RecommendationService:
         return self._sharded
 
     @property
+    def candidates(self):
+        """The two-stage candidate backend, or ``None`` on the exact path."""
+        return self._candidates
+
+    @property
+    def certificate_stats(self) -> Optional[dict]:
+        """Aggregate certificate counters, or ``None`` on the exact path."""
+        backend = self._candidates
+        if backend is None:
+            return None
+        return {
+            "mode": backend.mode,
+            "factor": backend.factor,
+            "batches": backend.total_batches,
+            "certified_batches": backend.certified_batches,
+            "users": backend.total_users,
+            "certified_users": backend.certified_users,
+        }
+
+    @property
     def _backend(self):
-        """Where requests go: the sharded fan-out or the plain index."""
+        """Where requests go: two-stage candidates, sharded fan-out or the
+        plain exact index (in that order of precedence)."""
+        if self._candidates is not None:
+            return self._candidates
         return self._sharded if self._sharded is not None else self.index
 
     def refresh(self, model=None) -> "RecommendationService":
@@ -128,6 +183,8 @@ class RecommendationService:
             self._sharded = ShardedInferenceIndex.from_index(
                 self.index, self.num_shards, policy=self.shard_policy,
                 executor=self._executor)
+        # Quantised blocks snapshot the embeddings too — requantise.
+        self._candidates = self._build_candidates()
         self.clear_cache()
         return self
 
@@ -189,6 +246,9 @@ class RecommendationService:
     def __repr__(self) -> str:
         backend = (f", shards={self.num_shards}({self.shard_policy}), "
                    f"executor={self._executor!r}" if self._sharded else "")
+        if self._candidates is not None:
+            backend += (f", candidates={self.candidate_mode}"
+                        f"(x{self.candidate_factor})")
         return (f"RecommendationService(index={self.index!r}{backend}, "
                 f"batch_size={self.batch_size}, cache_size={self.cache_size}, "
                 f"hits={self.cache_hits}, misses={self.cache_misses})")

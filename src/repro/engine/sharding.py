@@ -162,6 +162,22 @@ class ItemShard:
         else:
             self.exclusion = (self._slice_exclusion(exclusion)
                               if exclusion is not None else None)
+        self._item_norms: Optional[np.ndarray] = None
+
+    @property
+    def item_norms(self) -> np.ndarray:
+        """Cached L2 norms of this shard's embedding slice (float64, frozen).
+
+        Mirrors :attr:`InferenceIndex.item_norms` for the sharded world: the
+        two-stage candidate pipeline's norm-cap bound is computed per shard
+        against these.
+        """
+        if self._item_norms is None:
+            norms = np.linalg.norm(
+                self.item_embeddings.astype(np.float64, copy=False), axis=1)
+            norms.setflags(write=False)
+            self._item_norms = norms
+        return self._item_norms
 
     @property
     def num_local_items(self) -> int:

@@ -1,0 +1,255 @@
+"""Tests for two-stage candidate serving (quantisation, bounds, certificates)."""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CandidateIndex,
+    InferenceIndex,
+    RecommendationService,
+    ShardedCandidateIndex,
+    ShardedInferenceIndex,
+    UserItemIndex,
+    quantize_item_matrix,
+)
+from repro.models import BprMF, MultiVAE
+
+
+def _random_index(rng, num_users=30, num_items=80, dim=12, nnz=150,
+                  dtype=np.float64):
+    users = rng.integers(0, num_users, nnz)
+    items = rng.integers(0, num_items, nnz)
+    exclusion = UserItemIndex(num_users, num_items, users, items)
+    return InferenceIndex(
+        num_users, num_items,
+        user_embeddings=rng.normal(size=(num_users, dim)),
+        item_embeddings=rng.normal(size=(num_items, dim)),
+        exclusion=exclusion, dtype=dtype)
+
+
+class TestQuantizeItemMatrix:
+    def test_int8_roundtrip_error_bounded(self, rng):
+        matrix = rng.normal(size=(50, 16))
+        block = quantize_item_matrix(matrix, "int8")
+        assert block.codes.dtype == np.int8
+        dequant = block.codes.astype(np.float64) * block.scales[:, None]
+        scales = np.max(np.abs(matrix), axis=1) / 127.0
+        assert (np.abs(matrix - dequant) <= scales[:, None] / 2 + 1e-12).all()
+
+    def test_zero_rows_quantise_cleanly(self):
+        matrix = np.zeros((3, 8))
+        matrix[1] = 1.0
+        block = quantize_item_matrix(matrix, "int8")
+        assert (block.codes[0] == 0).all() and (block.codes[2] == 0).all()
+        assert block.bound_norms[0] == 0.0
+
+    def test_float32_mode_is_a_cast(self, rng):
+        matrix = rng.normal(size=(20, 8))
+        block = quantize_item_matrix(matrix, "float32")
+        assert block.codes.dtype == np.float32
+        assert block.scales is None
+        np.testing.assert_array_equal(block.codes, matrix.astype(np.float32))
+
+    def test_int8_snapshot_is_much_smaller(self, rng):
+        matrix = rng.normal(size=(100, 64))
+        block = quantize_item_matrix(matrix, "int8")
+        assert matrix.nbytes / block.nbytes >= 3.0
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ValueError, match="candidate mode"):
+            quantize_item_matrix(rng.normal(size=(4, 4)), "int4")
+
+    @pytest.mark.parametrize("mode", ["int8", "float32"])
+    def test_upper_bound_is_sound(self, rng, mode):
+        """approx + ||u||*bound_norm must dominate the exact score everywhere."""
+        items = rng.normal(size=(200, 24))
+        users = rng.normal(size=(40, 24))
+        block = quantize_item_matrix(items, mode)
+        exact = users @ items.T
+        approx = block.approx_scores(users)
+        norms = np.linalg.norm(users, axis=1)
+        upper = approx + norms[:, None] * block.bound_norms[None, :]
+        assert (upper >= exact).all()
+        # ... and so must the Cauchy–Schwarz norm cap.
+        assert (norms[:, None] * block.item_norms[None, :] >= exact).all()
+
+
+class TestCandidateIndex:
+    def test_full_coverage_factor_matches_exact_bitwise(self, rng):
+        """factor*k >= catalogue => no pruning, certified, bit-identical."""
+        index = _random_index(rng)
+        users = np.arange(index.num_users)
+        exact = index.top_k(users, 10)
+        backend = CandidateIndex(index, "int8", factor=index.num_items)
+        ids, certificate = backend.top_k_with_certificate(users, 10)
+        assert certificate.all_certified
+        np.testing.assert_array_equal(ids, exact)
+
+    @pytest.mark.parametrize("mode", ["int8", "float32"])
+    def test_certified_rows_equal_exact(self, rng, mode):
+        index = _random_index(rng)
+        users = np.arange(index.num_users)
+        exact = index.top_k(users, 8)
+        ids, certificate = CandidateIndex(index, mode, 4).top_k_with_certificate(
+            users, 8)
+        np.testing.assert_array_equal(ids[certificate.certified],
+                                      exact[certificate.certified])
+
+    def test_train_items_never_served(self, rng):
+        index = _random_index(rng)
+        users = np.arange(index.num_users)
+        ids = CandidateIndex(index, "int8", 2).top_k(users, 10)
+        assert not index.exclusion.contains(users[:, None], ids).any()
+
+    def test_exclude_train_toggle_changes_results(self, rng):
+        index = _random_index(rng)
+        backend = CandidateIndex(index, "float32", 4)
+        users = np.arange(index.num_users)
+        masked = backend.top_k(users, 10, exclude_train=True)
+        unmasked = backend.top_k(users, 10, exclude_train=False)
+        assert not np.array_equal(masked, unmasked)
+
+    def test_certificate_counters_accumulate(self, rng):
+        index = _random_index(rng)
+        backend = CandidateIndex(index, "float32", 4)
+        backend.top_k(np.arange(10), 5)
+        backend.top_k(np.arange(10, 30), 5)
+        assert backend.total_batches == 2
+        assert backend.total_users == 30
+        assert backend.last_certificate.num_users == 20
+
+    def test_width_clamps_to_catalogue(self, rng):
+        index = _random_index(rng, num_items=6, nnz=0)
+        ids = CandidateIndex(index, "int8", 4).top_k(
+            np.arange(index.num_users), 10, exclude_train=False)
+        assert ids.shape == (index.num_users, 6)
+
+    def test_score_pairs_stays_exact(self, rng):
+        index = _random_index(rng)
+        backend = CandidateIndex(index, "int8", 4)
+        users = np.array([0, 3, 7])
+        items = np.array([2, 5, 1])
+        np.testing.assert_array_equal(backend.score_pairs(users, items),
+                                      index.score_pairs(users, items))
+
+    def test_validation_errors(self, rng):
+        index = _random_index(rng)
+        with pytest.raises(ValueError, match="positive integer"):
+            CandidateIndex(index, "int8", 0)
+        with pytest.raises(ValueError, match="candidate mode"):
+            CandidateIndex(index, "fp16", 4)
+        backend = CandidateIndex(index, "int8", 4)
+        with pytest.raises(ValueError):
+            backend.top_k(np.arange(4), 0)
+        with pytest.raises(ValueError):
+            backend.top_k(np.arange(4).reshape(2, 2), 3)
+
+    def test_scorer_fallback_rejected(self, tiny_split):
+        model = MultiVAE(tiny_split, seed=0)
+        model.eval()
+        index = InferenceIndex.from_model(model, tiny_split)
+        with pytest.raises(ValueError, match="factorised"):
+            CandidateIndex(index, "int8", 4)
+
+
+class TestShardedCandidateIndex:
+    @pytest.mark.parametrize("num_shards,policy", [(2, "contiguous"),
+                                                   (3, "strided"),
+                                                   (7, "contiguous")])
+    def test_certified_rows_equal_exact(self, rng, num_shards, policy):
+        index = _random_index(rng)
+        users = np.arange(index.num_users)
+        exact = index.top_k(users, 9)
+        sharded = ShardedInferenceIndex.from_index(index, num_shards,
+                                                   policy=policy)
+        backend = ShardedCandidateIndex(sharded, "int8", 4)
+        ids, certificate = backend.top_k_with_certificate(users, 9)
+        assert ids.shape == exact.shape
+        np.testing.assert_array_equal(ids[certificate.certified],
+                                      exact[certificate.certified])
+
+    def test_empty_shards_contribute_nothing(self, rng):
+        # 6 items over 5 contiguous ceil-width-2 blocks leaves empty shards.
+        index = _random_index(rng, num_items=6, nnz=20)
+        sharded = ShardedInferenceIndex.from_index(index, 5)
+        backend = ShardedCandidateIndex(sharded, "float32", 4)
+        ids, certificate = backend.top_k_with_certificate(
+            np.arange(index.num_users), 6, exclude_train=False)
+        np.testing.assert_array_equal(
+            ids[certificate.certified],
+            index.top_k(np.arange(index.num_users), 6,
+                        exclude_train=False)[certificate.certified])
+
+    def test_quantized_bytes_sum_over_shards(self, rng):
+        index = _random_index(rng)
+        unsharded = CandidateIndex(index, "int8", 4)
+        sharded = ShardedCandidateIndex(
+            ShardedInferenceIndex.from_index(index, 4), "int8", 4)
+        # Per-shard blocks re-store the same catalogue (modulo per-item
+        # vectors, identical either way).
+        assert sharded.quantized_nbytes == unsharded.quantized_nbytes
+
+
+class TestServiceIntegration:
+    @pytest.fixture()
+    def model(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=2)
+        model.eval()
+        return model
+
+    def test_certified_service_matches_exact_service(self, model):
+        exact = RecommendationService(model)
+        two_stage = RecommendationService(model, candidate_mode="float32",
+                                          candidate_factor=4)
+        users = np.arange(exact.num_users)
+        expected = exact.top_k(users, 5)
+        got = two_stage.top_k(users, 5)
+        stats = two_stage.certificate_stats
+        assert stats["users"] == exact.num_users
+        certified = two_stage.candidates.last_certificate.certified
+        np.testing.assert_array_equal(got[certified], expected[certified])
+
+    def test_sharded_candidate_service(self, model):
+        service = RecommendationService(model, num_shards=3,
+                                        candidate_mode="int8",
+                                        candidate_factor=6)
+        assert isinstance(service.candidates, ShardedCandidateIndex)
+        ids = service.top_k(np.arange(10), 4)
+        assert ids.shape == (10, 4)
+        assert service.certificate_stats["batches"] == 1
+
+    def test_exact_path_reports_no_stats(self, model):
+        service = RecommendationService(model)
+        assert service.certificate_stats is None
+        assert service.candidates is None
+
+    def test_recommend_routes_through_candidates_and_cache(self, model):
+        service = RecommendationService(model, candidate_mode="float32")
+        first = service.recommend(0, k=5)
+        second = service.recommend(0, k=5)
+        assert first == second
+        assert service.cache_hits == 1
+        # The cached second call never reached the candidate backend.
+        assert service.certificate_stats["batches"] == 1
+
+    def test_refresh_requantises_snapshot(self, model):
+        service = RecommendationService(model, candidate_mode="int8")
+        before = service.candidates
+        model.user_factors.data[:] = -model.user_factors.data
+        model.item_factors.data[:] = -model.item_factors.data
+        service.refresh()
+        assert service.candidates is not before
+        assert service.certificate_stats["batches"] == 0
+
+    def test_invalid_arguments(self, model):
+        with pytest.raises(ValueError):
+            RecommendationService(model, candidate_mode="int4")
+        with pytest.raises(ValueError):
+            RecommendationService(model, candidate_mode="int8",
+                                  candidate_factor=0)
+
+    def test_scorer_fallback_model_rejected(self, tiny_split):
+        model = MultiVAE(tiny_split, seed=0)
+        model.eval()
+        with pytest.raises(ValueError, match="factorised"):
+            RecommendationService(model, tiny_split, candidate_mode="int8")

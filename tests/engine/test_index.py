@@ -194,6 +194,43 @@ class TestInferenceIndex:
         with pytest.raises(ValueError):
             InferenceIndex(3, 4, user_embeddings=np.zeros((3, 2)))
 
+    def test_item_norms_cached_and_correct(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        norms = index.item_norms
+        np.testing.assert_allclose(
+            norms, np.linalg.norm(index.item_embeddings, axis=1))
+        assert index.item_norms is norms  # one build per snapshot
+        assert not norms.flags.writeable
+
+    def test_item_norms_require_factorized_index(self, tiny_split):
+        model = MultiVAE(tiny_split, embedding_dim=8, seed=0)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        with pytest.raises(ValueError, match="factorised"):
+            index.item_norms
+
+    def test_rescore_matches_full_scores(self, tiny_split, rng):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        users = np.array([0, 2, 5])
+        lists = rng.integers(0, tiny_split.num_items, size=(3, 6))
+        expected = np.take_along_axis(index.scores(users), lists, axis=1)
+        np.testing.assert_allclose(index.rescore(users, lists), expected)
+        with pytest.raises(ValueError):
+            index.rescore(users, lists[:2])
+
+    def test_rescore_scorer_fallback(self, tiny_split, rng):
+        model = MultiVAE(tiny_split, embedding_dim=8, seed=0)
+        model.eval()
+        index = InferenceIndex.from_model(model)
+        users = np.array([1, 3])
+        lists = rng.integers(0, tiny_split.num_items, size=(2, 4))
+        expected = np.take_along_axis(index.scores(users), lists, axis=1)
+        np.testing.assert_allclose(index.rescore(users, lists), expected)
+
     def test_dtype_configurable(self, tiny_split):
         model = BprMF(tiny_split, embedding_dim=8, seed=1)
         index = InferenceIndex.from_model(model, dtype=np.float32)
@@ -215,3 +252,89 @@ class TestInferenceIndex:
         masked = index.scores(users, mask_train=True)
         assert np.isneginf(masked).any()
         assert np.isfinite(cached).all(), "scorer's cached array was corrupted"
+
+
+class TestTopKScoreBuffer:
+    """The perf satellite: ``top_k`` reuses one preallocated score buffer."""
+
+    @pytest.fixture()
+    def index(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        return InferenceIndex.from_model(model)
+
+    def test_no_allocation_growth_across_calls(self, index, tiny_split):
+        users = np.arange(tiny_split.num_users)
+        index.top_k(users, 5)
+        buffer = index._score_buffer
+        assert buffer.shape == (tiny_split.num_users, tiny_split.num_items)
+        for _ in range(10):
+            index.top_k(users, 5)
+            index.top_k(users[:3], 2)  # smaller batches reuse a prefix view
+            assert index._score_buffer is buffer, (
+                "top_k must not reallocate its score buffer between calls")
+
+    def test_buffer_grows_once_for_larger_batches(self, index):
+        index.top_k(np.arange(4), 3)
+        small = index._score_buffer
+        index.top_k(np.arange(9), 3)
+        grown = index._score_buffer
+        assert grown is not small and grown.shape[0] == 9
+        index.top_k(np.arange(6), 3)
+        assert index._score_buffer is grown
+
+    def test_buffered_path_matches_scores_oracle(self, index, tiny_split):
+        users = np.arange(tiny_split.num_users)
+        expected = top_k_indices(index.scores(users, mask_train=True), 5)
+        np.testing.assert_array_equal(index.top_k(users, 5), expected)
+        # Masking -inf into the buffer must not leak into the next call.
+        unmasked = top_k_indices(index.scores(users), 5)
+        np.testing.assert_array_equal(
+            index.top_k(users, 5, exclude_train=False), unmasked)
+
+    def test_top_k_without_exclusion_still_raises(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=1)
+        model.eval()
+        index = InferenceIndex.from_model(model, exclusion=None)
+        index.exclusion = None
+        with pytest.raises(ValueError, match="exclusion"):
+            index.top_k(np.arange(3), 2)
+
+    def test_oversized_batches_never_pin_a_giant_buffer(self, index):
+        from repro.engine.index import _SCORE_BUFFER_MAX_ROWS
+        index.top_k(np.arange(5), 3)
+        small = index._score_buffer
+        # A score-everyone batch (user ids may repeat) must not grow the
+        # resident buffer past the cap — it takes the fresh-allocation path.
+        huge = np.zeros(_SCORE_BUFFER_MAX_ROWS + 7, dtype=np.int64)
+        expected = top_k_indices(index.scores(huge, mask_train=True), 3)
+        np.testing.assert_array_equal(index.top_k(huge, 3), expected)
+        assert index._score_buffer is small
+
+    def test_concurrent_top_k_calls_stay_correct(self, index, tiny_split):
+        """Racing threads must never corrupt each other's shared buffer."""
+        import threading
+
+        users_a = np.arange(tiny_split.num_users)
+        users_b = users_a[::-1].copy()
+        expected = {
+            "a": top_k_indices(index.scores(users_a, mask_train=True), 5),
+            "b": top_k_indices(index.scores(users_b, mask_train=True), 5),
+        }
+        failures = []
+        barrier = threading.Barrier(2)
+
+        def hammer(label, users):
+            barrier.wait()
+            for _ in range(50):
+                if not np.array_equal(index.top_k(users, 5), expected[label]):
+                    failures.append(label)
+                    return
+
+        threads = [threading.Thread(target=hammer, args=("a", users_a)),
+                   threading.Thread(target=hammer, args=("b", users_b))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures

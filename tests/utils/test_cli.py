@@ -118,6 +118,59 @@ class TestShardedRecommend:
         assert "--shard-policy" in text
 
 
+class TestCandidateRecommend:
+    BASE = ["recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0,2", "-k", "4", "--json"]
+
+    def _payload(self, capsys, extra):
+        assert main(self.BASE + extra) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_certified_two_stage_matches_exact(self, capsys):
+        exact = self._payload(capsys, [])
+        for extra in (["--candidates", "float32"],
+                      ["--candidates", "int8", "--candidate-factor", "8"],
+                      ["--candidates", "float32", "--shards", "3"]):
+            payload = self._payload(capsys, extra)
+            stats = payload["candidates"]
+            # tiny/epochs-0 scores are well separated: everything certifies,
+            # so the two-stage lists must equal the exact serving path.
+            assert stats["certified_users"] == stats["users"] == 2
+            assert payload["recommendations"] == exact["recommendations"]
+
+    def test_text_output_reports_certificates(self, capsys):
+        assert main([
+            "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "1", "-k", "3",
+            "--candidates", "int8",
+        ]) == 0
+        assert "certified" in capsys.readouterr().out
+
+    def test_rejects_candidate_factor_below_one(self):
+        with pytest.raises(SystemExit, match="candidate-factor"):
+            main(self.BASE + ["--candidates", "int8", "--candidate-factor", "0"])
+
+    def test_rejects_unknown_candidate_mode(self):
+        with pytest.raises(SystemExit):
+            main(self.BASE + ["--candidates", "int4"])
+
+    def test_non_factorized_model_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="factorised"):
+            main([
+                "recommend", "--model", "multivae", "--dataset", "tiny",
+                "--epochs", "0", "--embedding-dim", "8", "--users", "0",
+                "--candidates", "int8",
+            ])
+
+    def test_help_documents_candidate_flags(self):
+        import argparse
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        text = subparsers.choices["recommend"].format_help()
+        assert "--candidates" in text and "--candidate-factor" in text
+
+
 class TestTrainCommand:
     def test_train_json_output(self, capsys, tmp_path):
         code = main([
