@@ -1,0 +1,250 @@
+"""Benchmark — online incremental index updates: ingest vs full rebuild.
+
+Streams batches of new (user, item) interaction events — including events
+from previously unseen users — into an
+:class:`repro.engine.OnlineRecommendationService` and gates two things
+against the frozen-snapshot alternative of rebuilding the whole serving
+stack per event batch:
+
+* **Overlay == rebuild parity (the CI gate).**  After every ingested batch,
+  and again before/after ``compact()``, serving through the delta overlay
+  must be bit-identical to a service rebuilt from scratch on the accumulated
+  interactions (same embedding matrices including the fallback rows grown
+  for new users, fresh exclusion CSR).  Checked for S in {1, 4} and
+  candidate_mode in {None, int8}; any drift is an exactness bug and fails
+  the build.  The compacted CSR must additionally be bit-identical
+  (indptr/indices) to a from-scratch :class:`UserItemIndex` build.
+* **Ingest cost.**  Folding a batch into the delta must beat rebuilding the
+  serving state: amortised ingest time per batch at least
+  ``MIN_SPEEDUP_VS_REBUILD``x cheaper than one full rebuild, and absolute
+  ingest throughput above ``MIN_INGEST_PAIRS_PER_SEC`` (a deliberately
+  conservative floor — the merge is a handful of vectorised passes — that
+  still catches an accidentally quadratic append path).
+
+Environment knobs: ``REPRO_BENCH_DATASET`` (e.g. ``tiny`` for the CI smoke
+run) and ``REPRO_BENCH_JSON`` (artifact directory, see ``artifacts.py``).
+
+Run stand-alone with ``python benchmarks/bench_online_updates.py`` or via
+pytest: ``pytest benchmarks/bench_online_updates.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import chronological_split, dataset_preset  # noqa: E402
+from repro.engine import (  # noqa: E402
+    InferenceIndex,
+    OnlineRecommendationService,
+    RecommendationService,
+    UserItemIndex,
+)
+from repro.models import LightGCN  # noqa: E402
+
+MODES = (None, "int8")
+SHARD_COUNTS = (1, 4)
+DEFAULT_DATASETS = ("mooc", "games")
+TOP_K = 10
+NUM_BATCHES = 5
+BATCH_EVENTS = 200
+NEW_USER_HEADROOM = 8  # event user ids may exceed the catalogue by this many
+
+MIN_SPEEDUP_VS_REBUILD = 1.5
+MIN_INGEST_PAIRS_PER_SEC = 25_000
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return DEFAULT_DATASETS
+
+
+def _assert_speedup() -> bool:
+    """Only assert the rebuild-speedup floor on the full presets.
+
+    On the tiny CI smoke preset a full rebuild costs ~0.1 ms, so there is
+    nothing to amortise; parity and the absolute ingest-throughput floor are
+    the smoke gates (matching how the other benchmarks scope their speedup
+    floors to the Table-2 presets).
+    """
+    return os.environ.get("REPRO_BENCH_DATASET") is None
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_model(name: str):
+    split = chronological_split(dataset_preset(name, seed=0))
+    model = LightGCN(split, embedding_dim=64, num_layers=3, seed=0)
+    model.eval()
+    return model, split
+
+
+def _rebuild_service(online: OnlineRecommendationService, num_shards: int,
+                     mode) -> RecommendationService:
+    """A frozen service built from scratch on the accumulated interactions."""
+    users, items = online.overlay.all_pairs()
+    index = InferenceIndex(
+        online.num_users, online.num_items,
+        user_embeddings=online.index.user_embeddings,
+        item_embeddings=online.index.item_embeddings,
+        exclusion=UserItemIndex(online.num_users, online.num_items,
+                                users, items))
+    return RecommendationService(index=index, num_shards=num_shards,
+                                 candidate_mode=mode)
+
+
+def _assert_parity(online: OnlineRecommendationService, num_shards: int,
+                   mode, context: str) -> None:
+    all_users = np.arange(online.num_users, dtype=np.int64)
+    got = online.top_k(all_users, TOP_K)
+    want = _rebuild_service(online, num_shards, mode).top_k(all_users, TOP_K)
+    assert np.array_equal(got, want), (
+        f"{context}: overlay serving diverged from the from-scratch rebuild "
+        f"— the 'updates are exact' invariant is broken")
+
+
+def run_online_updates(datasets=None, repeats: int = 3):
+    """Parity-check and profile every (dataset, mode, shards) cell."""
+    rows = []
+    for name in (datasets or _datasets()):
+        model, split = _build_model(name)
+        rng = np.random.default_rng(12345)
+        batches = [
+            (rng.integers(0, split.num_users + NEW_USER_HEADROOM, BATCH_EVENTS),
+             rng.integers(0, split.num_items, BATCH_EVENTS))
+            for _ in range(NUM_BATCHES)
+        ]
+        for mode in MODES:
+            for num_shards in SHARD_COUNTS:
+                online = OnlineRecommendationService(
+                    model, split, num_shards=num_shards, candidate_mode=mode,
+                    compact_threshold=10 ** 9)  # manual compaction only
+                ingest_seconds = 0.0
+                ingested = 0
+                for batch_id, (users, items) in enumerate(batches):
+                    start = time.perf_counter()
+                    stats = online.ingest(users, items)
+                    ingest_seconds += time.perf_counter() - start
+                    ingested += stats["ingested"]
+                    _assert_parity(online, num_shards, mode,
+                                   f"{name}/{mode}/S={num_shards}/"
+                                   f"batch={batch_id}")
+                all_users = np.arange(online.num_users, dtype=np.int64)
+                before = online.top_k(all_users, TOP_K)
+                online.compact()
+                after = online.top_k(all_users, TOP_K)
+                assert np.array_equal(before, after), (
+                    f"{name}/{mode}/S={num_shards}: compaction changed "
+                    f"served results")
+                pair_users, pair_items = online.overlay.all_pairs()
+                scratch = UserItemIndex(online.num_users, online.num_items,
+                                        pair_users, pair_items)
+                assert np.array_equal(online.overlay.base.indptr,
+                                      scratch.indptr)
+                assert np.array_equal(online.overlay.base.indices,
+                                      scratch.indices)
+                _assert_parity(online, num_shards, mode,
+                               f"{name}/{mode}/S={num_shards}/post-compact")
+
+                rebuild_s = _time(
+                    lambda: _rebuild_service(online, num_shards, mode),
+                    repeats)
+                ingest_per_batch_s = ingest_seconds / NUM_BATCHES
+                throughput = ingested / ingest_seconds if ingest_seconds else 0.0
+                speedup = (rebuild_s / ingest_per_batch_s
+                           if ingest_per_batch_s else float("inf"))
+                rows.append({
+                    "dataset": name,
+                    "users": int(split.num_users),
+                    "items": int(split.num_items),
+                    "mode": mode or "exact",
+                    "shards": num_shards,
+                    "batches": NUM_BATCHES,
+                    "events_per_batch": BATCH_EVENTS,
+                    "ingested_pairs": int(ingested),
+                    "new_users": int(online.new_users),
+                    "ingest_ms_per_batch": ingest_per_batch_s * 1e3,
+                    "rebuild_ms": rebuild_s * 1e3,
+                    "speedup_vs_rebuild": speedup,
+                    "ingest_pairs_per_sec": throughput,
+                    "parity": "exact",
+                })
+        for row in rows:
+            if row["dataset"] != name:
+                continue
+            if _assert_speedup():
+                assert row["speedup_vs_rebuild"] >= MIN_SPEEDUP_VS_REBUILD, (
+                    f"{name}/{row['mode']}/S={row['shards']}: ingesting a "
+                    f"batch ({row['ingest_ms_per_batch']:.3f} ms) is not "
+                    f"{MIN_SPEEDUP_VS_REBUILD}x cheaper than a full rebuild "
+                    f"({row['rebuild_ms']:.3f} ms)")
+            assert row["ingest_pairs_per_sec"] >= MIN_INGEST_PAIRS_PER_SEC, (
+                f"{name}/{row['mode']}/S={row['shards']}: ingest throughput "
+                f"{row['ingest_pairs_per_sec']:.0f} pairs/s under the "
+                f"{MIN_INGEST_PAIRS_PER_SEC} floor")
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'mode':>7} {'S':>3} {'pairs':>6} "
+              f"{'new_u':>6} {'ingest ms':>10} {'rebuild ms':>11} "
+              f"{'speedup':>8} {'pairs/s':>10}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['mode']:>7} {row['shards']:>3d} "
+            f"{row['ingested_pairs']:>6d} {row['new_users']:>6d} "
+            f"{row['ingest_ms_per_batch']:>10.3f} {row['rebuild_ms']:>11.3f} "
+            f"{row['speedup_vs_rebuild']:>7.1f}x "
+            f"{row['ingest_pairs_per_sec']:>10.0f}")
+    return "\n".join(lines)
+
+
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    preset = ",".join(sorted({row["dataset"] for row in rows}))
+    write_artifact("bench_online_updates", rows, preset=preset)
+
+
+def test_online_updates():
+    rows = run_online_updates()
+    try:
+        from .conftest import print_block
+        print_block("Online incremental updates — ingest vs full rebuild",
+                    format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _write_artifact(rows)
+
+
+def main() -> int:
+    rows = run_online_updates()
+    print(format_rows(rows))
+    _write_artifact(rows)
+    print(f"OK: overlay==rebuild parity exact, modes={MODES}, "
+          f"shards={SHARD_COUNTS}, {NUM_BATCHES}x{BATCH_EVENTS} events")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,7 @@ The subcommands cover the common workflows:
 from __future__ import annotations
 
 import argparse
+import csv
 import json
 import sys
 from typing import List, Optional
@@ -93,6 +94,26 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--candidate-factor", type=int, default=4,
                            help="stage-1 candidates per user as a multiple "
                                 "of K (only with --candidates; must be >= 1)")
+    recommend.add_argument("--adaptive-candidates", action="store_true",
+                           help="re-serve uncertified users with a doubled "
+                                "candidate factor (up to "
+                                "--max-candidate-factor), then fall back to "
+                                "the exact path — every served list is then "
+                                "provably exact (requires --candidates)")
+    recommend.add_argument("--max-candidate-factor", type=int, default=32,
+                           help="escalation ceiling for --adaptive-candidates "
+                                "(must be >= --candidate-factor)")
+    recommend.add_argument("--ingest", default=None, metavar="CSV",
+                           help="fold new 'user,item' interaction events from "
+                                "this CSV into the serving index before "
+                                "recommending (online serving; consumed items "
+                                "drop out of those users' lists, unseen user "
+                                "ids get a fallback embedding row)")
+    recommend.add_argument("--compact-threshold", type=int, default=50_000,
+                           help="with --ingest: merge the interaction delta "
+                                "into the base index once it reaches this "
+                                "many pairs (results are identical before "
+                                "and after the merge)")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
 
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
@@ -154,6 +175,49 @@ def _command_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def _is_int(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
+
+
+def _load_interaction_events(path: str):
+    """Read ``user,item`` integer event rows from a CSV (header tolerated)."""
+    users, items = [], []
+    try:
+        handle = open(path, newline="")
+    except OSError as error:
+        raise SystemExit(f"error: cannot read --ingest file: {error}")
+    with handle:
+        first_content_row = True
+        for line_number, row in enumerate(csv.reader(handle), start=1):
+            if not row or not "".join(row).strip():
+                continue
+            try:
+                user, item = int(row[0]), int(row[1])
+            except (ValueError, IndexError):
+                # Tolerate a header as the first non-blank row, but only when
+                # NO field parses as an id — a typo'd first data row ('O,3')
+                # must error, not vanish.
+                if first_content_row and not any(
+                        _is_int(field) for field in row[:2]):
+                    first_content_row = False
+                    continue
+                raise SystemExit(f"error: --ingest line {line_number}: need "
+                                 f"integer user,item columns, got {row!r}")
+            first_content_row = False
+            if user < 0 or item < 0:
+                raise SystemExit(f"error: --ingest line {line_number}: "
+                                 f"ids must be non-negative, got {row!r}")
+            users.append(user)
+            items.append(item)
+    if not users:
+        raise SystemExit(f"error: --ingest file {path!r} contains no events")
+    return np.asarray(users, dtype=np.int64), np.asarray(items, dtype=np.int64)
+
+
 def _command_recommend(args: argparse.Namespace) -> int:
     # Validate cheap arguments before any dataset/model/training work.
     if args.top_k <= 0:
@@ -165,18 +229,31 @@ def _command_recommend(args: argparse.Namespace) -> int:
                          "requires --shards > 1")
     if args.candidate_factor < 1:
         raise SystemExit("error: --candidate-factor must be a positive integer")
+    if args.adaptive_candidates and args.candidates is None:
+        raise SystemExit("error: --adaptive-candidates escalates the two-stage "
+                         "pipeline and requires --candidates")
+    if args.candidates is not None \
+            and args.max_candidate_factor < args.candidate_factor:
+        raise SystemExit("error: --max-candidate-factor must be >= "
+                         "--candidate-factor")
+    if args.compact_threshold < 1:
+        raise SystemExit("error: --compact-threshold must be a positive integer")
     try:
         users = [int(u) for u in args.users.split(",") if u.strip() != ""]
     except ValueError:
         raise SystemExit(f"error: --users must be comma-separated integers, got {args.users!r}")
     if not users:
         raise SystemExit("error: --users must name at least one user id")
+    events = _load_interaction_events(args.ingest) if args.ingest else None
 
     split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
                           source_csv=args.csv)
-    bad = [u for u in users if not 0 <= u < split.num_users]
-    if bad:
-        raise SystemExit(f"error: user ids {bad} outside [0, {split.num_users})")
+    if events is None:
+        # With --ingest, unseen user ids are legal (they may be created by
+        # the events); the range check moves to after ingestion.
+        bad = [u for u in users if not 0 <= u < split.num_users]
+        if bad:
+            raise SystemExit(f"error: user ids {bad} outside [0, {split.num_users})")
     model = build_model(args.model, split, **_model_kwargs(args))
 
     if args.checkpoint:
@@ -187,20 +264,39 @@ def _command_recommend(args: argparse.Namespace) -> int:
         Trainer(model, split, config).fit()
     model.eval()
 
-    if args.shards > 1 or args.candidates is not None:
-        from .engine import RecommendationService
+    ingest_stats = None
+    if events is not None or args.shards > 1 or args.candidates is not None:
+        from .engine import OnlineRecommendationService, RecommendationService
+        engine_kwargs = dict(
+            num_shards=args.shards, shard_policy=args.shard_policy,
+            parallel=args.parallel, candidate_mode=args.candidates,
+            candidate_factor=args.candidate_factor,
+            candidate_escalation=args.adaptive_candidates,
+            max_candidate_factor=args.max_candidate_factor)
         try:
-            service = RecommendationService(
-                model, split, num_shards=args.shards,
-                shard_policy=args.shard_policy, parallel=args.parallel,
-                candidate_mode=args.candidates,
-                candidate_factor=args.candidate_factor)
+            if events is not None:
+                service = OnlineRecommendationService(
+                    model, split, compact_threshold=args.compact_threshold,
+                    **engine_kwargs)
+            else:
+                service = RecommendationService(model, split, **engine_kwargs)
         except ValueError as error:
             # e.g. a scorer-fallback model (no item matrix to partition or
             # quantise).
             raise SystemExit(f"error: {error}")
     else:
         service = model.inference_service()
+    if events is not None:
+        try:
+            ingest_stats = service.ingest(*events)
+        except (ValueError, IndexError) as error:
+            # e.g. event items outside the catalogue, or unseen users on a
+            # scorer-fallback model (no embedding row to fall back to).
+            raise SystemExit(f"error: --ingest: {error}")
+        bad = [u for u in users if not 0 <= u < service.num_users]
+        if bad:
+            raise SystemExit(f"error: user ids {bad} outside "
+                             f"[0, {service.num_users}) after ingest")
     top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
                         exclude_train=not args.include_train)
 
@@ -215,10 +311,18 @@ def _command_recommend(args: argparse.Namespace) -> int:
     }
     if args.candidates is not None:
         payload["candidates"] = service.certificate_stats
+    if ingest_stats is not None:
+        payload["ingest"] = dict(ingest_stats, **service.online_stats)
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
         print(f"{args.model} on {args.dataset} — {service!r}")
+        if ingest_stats is not None:
+            print(f"ingested {ingest_stats['ingested']} new pairs from "
+                  f"{ingest_stats['events']} events "
+                  f"({ingest_stats['new_users']} new users, "
+                  f"{ingest_stats['duplicates']} duplicates, "
+                  f"compacted={ingest_stats['compacted']})")
         for user, row in zip(users, top):
             print(f"user {user}: {[int(i) for i in row]}")
         if args.candidates is not None:
@@ -226,6 +330,11 @@ def _command_recommend(args: argparse.Namespace) -> int:
             print(f"certificates: {stats['certified_users']}/{stats['users']} "
                   f"users certified exact "
                   f"({stats['mode']}, factor {stats['factor']})")
+            if args.adaptive_candidates:
+                print(f"escalation: {stats['escalated_users']} users escalated "
+                      f"over {stats['escalation_rounds']} rounds, "
+                      f"{stats['exact_fallback_users']} exact fallbacks "
+                      f"(max factor {stats['max_factor']})")
     return 0
 
 

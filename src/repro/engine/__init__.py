@@ -41,6 +41,17 @@ models into a fast, reusable serving path:
   and composes it with sharding (per-shard quantised blocks, certified
   merge).
 
+* :class:`OnlineRecommendationService` / :class:`OnlineUserItemIndex` /
+  :class:`InteractionDelta` — incremental index updates for online serving:
+  new (user, item) interactions (including previously unseen users, which
+  get a fallback embedding row) are folded into an append-only sorted
+  flat-key delta overlaid on the frozen CSR exclusion, so ``ingest`` is one
+  linear merge, serving stays one vectorised pass (base lookup OR delta
+  binary search), only the touched users lose their cache entries, and
+  ``compact()`` merges the delta into a fresh CSR bit-identical to a
+  from-scratch rebuild — overlay serving ≡ rebuild serving, before and
+  after compaction, across sharded and candidate backends.
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
@@ -60,6 +71,12 @@ from .candidates import (
     quantize_item_matrix,
 )
 from .service import RecommendationService
+from .online import (
+    NEW_USER_POLICIES,
+    InteractionDelta,
+    OnlineRecommendationService,
+    OnlineUserItemIndex,
+)
 from .sharding import (
     ItemShard,
     SerialExecutor,
@@ -85,4 +102,8 @@ __all__ = [
     "Certificate",
     "QuantizedItemBlock",
     "quantize_item_matrix",
+    "NEW_USER_POLICIES",
+    "InteractionDelta",
+    "OnlineRecommendationService",
+    "OnlineUserItemIndex",
 ]

@@ -297,6 +297,10 @@ class _CertifiedTopK:
         self.certified_batches = 0
         self.total_users = 0
         self.certified_users = 0
+        # Adaptive-escalation counters (see top_k_adaptive).
+        self.escalation_rounds = 0
+        self.escalated_users = 0
+        self.exact_fallback_users = 0
 
     def _record(self, certificate: Certificate) -> Certificate:
         self.last_certificate = certificate
@@ -308,8 +312,9 @@ class _CertifiedTopK:
 
     def _finalize(self, pooled_ids: np.ndarray, pooled_scores: np.ndarray,
                   thresholds: np.ndarray, k: int, user_norms: np.ndarray,
-                  dim: int, dtype, num_items: int,
-                  max_item_norm: float) -> Tuple[np.ndarray, Certificate]:
+                  dim: int, dtype, num_items: int, max_item_norm: float,
+                  factor: Optional[int] = None,
+                  record: bool = True) -> Tuple[np.ndarray, Certificate]:
         """Rank the pooled exactly-rescored candidates and certify the batch.
 
         One ``lexsort`` per batch (primary key descending exact score,
@@ -337,8 +342,11 @@ class _CertifiedTopK:
         slack = _rounding_slack(dim, dtype) * user_norms * max_item_norm
         certified = ((thresholds < kth - 3.0 * slack)
                      & (runner_up < kth - 4.0 * slack))
-        certificate = self._record(Certificate(
-            self.mode, self.factor, int(k), certified, thresholds, kth))
+        certificate = Certificate(
+            self.mode, int(factor if factor is not None else self.factor),
+            int(k), certified, thresholds, kth)
+        if record:
+            self._record(certificate)
         return top_ids, certificate
 
     def _validate(self, users, k: int) -> Tuple[np.ndarray, int]:
@@ -357,6 +365,59 @@ class _CertifiedTopK:
         ids, _ = self.top_k_with_certificate(users, k,
                                              exclude_train=exclude_train)
         return ids
+
+    def top_k_adaptive(self, users: Sequence[int], k: int,
+                       exclude_train: bool = True,
+                       max_factor: Optional[int] = None) -> np.ndarray:
+        """Two-stage top-``k`` escalated until every user is provably exact.
+
+        Serves the batch at the configured factor, then re-serves *only* the
+        uncertified users with the factor doubled — doubling again up to
+        ``max_factor`` — and finally falls back to the exact single-stage
+        path for whoever is still uncertified.  Every returned list is
+        therefore identical to exhaustive exact search (certified users by
+        the certificate's soundness, fallback users by construction); the
+        price is one extra two-stage pass per doubling over a shrinking user
+        subset.  Escalation work is tallied in ``escalation_rounds`` /
+        ``escalated_users`` / ``exact_fallback_users``.
+        """
+        users, k = self._validate(users, k)
+        max_factor = self.factor if max_factor is None else int(max_factor)
+        if max_factor < self.factor:
+            raise ValueError("max_factor must be >= the configured factor")
+        ids, certificate = self.top_k_with_certificate(
+            users, k, exclude_train=exclude_train)
+        pending = ~certificate.certified
+        factor = self.factor
+        # Stop doubling once factor*k covers the catalogue: the pass was
+        # already exhaustive, so a bigger factor reruns identical work and a
+        # still-uncertified user (a genuine near-tie) needs the exact path.
+        while (pending.any() and factor * 2 <= max_factor
+               and factor * k < self.num_items):
+            factor *= 2
+            subset = np.nonzero(pending)[0]
+            self.escalation_rounds += 1
+            self.escalated_users += int(subset.size)
+            # Escalation re-serves users the aggregate counters already
+            # counted, so the sub-batch goes unrecorded (record=False) and
+            # only the newly certified users are credited.
+            sub_ids, sub_certificate = self.top_k_with_certificate(
+                users[subset], k, exclude_train=exclude_train, factor=factor,
+                record=False)
+            self.certified_users += sub_certificate.num_certified
+            ids[subset] = sub_ids
+            pending[subset[sub_certificate.certified]] = False
+        if pending.any():
+            subset = np.nonzero(pending)[0]
+            self.exact_fallback_users += int(subset.size)
+            ids[subset] = self._exact_backend.top_k(
+                users[subset], k, exclude_train=exclude_train)
+        return ids
+
+    @property
+    def _exact_backend(self):
+        """The exhaustive exact index escalation falls back to."""
+        raise NotImplementedError
 
     def recommend(self, user: int, k: int = 10,
                   exclude_train: bool = True) -> List[int]:
@@ -404,22 +465,29 @@ class CandidateIndex(_CertifiedTopK):
     def quantized_nbytes(self) -> int:
         return self.block.nbytes
 
+    @property
+    def _exact_backend(self):
+        return self.index
+
     def top_k_with_certificate(
-            self, users: Sequence[int], k: int,
-            exclude_train: bool = True) -> Tuple[np.ndarray, Certificate]:
+            self, users: Sequence[int], k: int, exclude_train: bool = True,
+            factor: Optional[int] = None,
+            record: bool = True) -> Tuple[np.ndarray, Certificate]:
         users, k = self._validate(users, k)
+        factor = self.factor if factor is None else int(factor)
         if exclude_train and self.index.exclusion is None:
             raise ValueError("no exclusion index attached to this CandidateIndex")
         user_block = self.index.user_embeddings[users]
         user_norms = np.linalg.norm(
             user_block.astype(np.float64, copy=False), axis=1)
         candidates, scores, thresholds = _two_stage_block(
-            user_block, users, user_norms, self.factor * k, self.block,
+            user_block, users, user_norms, factor * k, self.block,
             self.index.exclusion, exclude_train,
             lambda candidate_ids: self.index.rescore(users, candidate_ids))
         return self._finalize(candidates, scores, thresholds, k, user_norms,
                               self.block.dim, self.index.dtype,
-                              self.num_items, self._max_item_norm)
+                              self.num_items, self._max_item_norm,
+                              factor=factor, record=record)
 
     def score_pairs(self, users: Sequence[int],
                     items: Sequence[int]) -> np.ndarray:
@@ -478,22 +546,29 @@ class ShardedCandidateIndex(_CertifiedTopK):
     def quantized_nbytes(self) -> int:
         return sum(block.nbytes for block in self.blocks)
 
+    @property
+    def _exact_backend(self):
+        return self.sharded
+
     def _shard_task(self, shard, block: QuantizedItemBlock,
                     user_block: np.ndarray, users: np.ndarray,
-                    user_norms: np.ndarray, k: int, exclude_train: bool):
+                    user_norms: np.ndarray, num_candidates: int,
+                    exclude_train: bool):
         def rescore(candidates: np.ndarray) -> np.ndarray:
             return np.einsum("bd,bmd->bm", user_block,
                              shard.item_embeddings[candidates])
 
         local_ids, scores, thresholds = _two_stage_block(
-            user_block, users, user_norms, self.factor * k, block,
+            user_block, users, user_norms, num_candidates, block,
             shard.exclusion, exclude_train, rescore)
         return shard.item_ids[local_ids], scores, thresholds
 
     def top_k_with_certificate(
-            self, users: Sequence[int], k: int,
-            exclude_train: bool = True) -> Tuple[np.ndarray, Certificate]:
+            self, users: Sequence[int], k: int, exclude_train: bool = True,
+            factor: Optional[int] = None,
+            record: bool = True) -> Tuple[np.ndarray, Certificate]:
         users, k = self._validate(users, k)
+        factor = self.factor if factor is None else int(factor)
         if exclude_train and self.sharded.exclusion is None:
             raise ValueError(
                 "no exclusion index attached to this ShardedCandidateIndex")
@@ -502,7 +577,8 @@ class ShardedCandidateIndex(_CertifiedTopK):
             user_block.astype(np.float64, copy=False), axis=1)
         tasks = [
             (lambda shard=shard, block=block: self._shard_task(
-                shard, block, user_block, users, user_norms, k, exclude_train))
+                shard, block, user_block, users, user_norms, factor * k,
+                exclude_train))
             for shard, block in zip(self.sharded.shards, self.blocks)
         ]
         results = self.sharded.executor.run(tasks)
@@ -514,7 +590,8 @@ class ShardedCandidateIndex(_CertifiedTopK):
         return self._finalize(pooled_ids, pooled_scores, thresholds, k,
                               user_norms, int(user_block.shape[1]),
                               self.sharded.dtype, self.num_items,
-                              self._max_item_norm)
+                              self._max_item_norm, factor=factor,
+                              record=record)
 
     def score_pairs(self, users: Sequence[int],
                     items: Sequence[int]) -> np.ndarray:

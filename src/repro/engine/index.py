@@ -46,6 +46,63 @@ _DENSE_MEMBERSHIP_CELLS = 1 << 26
 _SCORE_BUFFER_MAX_ROWS = 1024
 
 
+def _expand_slices(counts: np.ndarray,
+                   starts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """(batch rows, gather positions) covering per-row slices of a flat array.
+
+    Row ``b`` owns ``counts[b]`` consecutive elements beginning at
+    ``starts[b]``; subtracting the running offset of earlier slices turns a
+    global arange into per-slice aranges.  This is the vectorised gather
+    behind both the CSR ``flat_pairs`` and the delta-overlay ``pairs_for`` —
+    no per-row Python loops.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    rows = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    offsets = np.cumsum(counts) - counts
+    positions = (np.arange(total, dtype=np.int64)
+                 - np.repeat(offsets, counts)
+                 + np.repeat(starts, counts))
+    return rows, positions
+
+
+class _FlatPairOps:
+    """Batch operations derived purely from ``flat_pairs`` / ``num_items``.
+
+    Shared by the frozen :class:`UserItemIndex` and the online delta overlay
+    (:class:`repro.engine.online.OnlineUserItemIndex`) so the masking /
+    scatter semantics can never diverge between them.
+    """
+
+    def mask(self, scores: np.ndarray, users: np.ndarray,
+             value: float = -np.inf) -> np.ndarray:
+        """Assign ``value`` at every indexed (user, item) position, in place."""
+        rows, cols = self.flat_pairs(users)
+        if rows.size:
+            scores[rows, cols] = value
+        return scores
+
+    def dense_rows(self, users: np.ndarray, dtype=bool) -> np.ndarray:
+        """Dense ``(len(users), num_items)`` indicator rows in ``dtype``.
+
+        One flat-index scatter per batch — the single implementation behind
+        :meth:`membership`, the training pipeline's user-row batches and the
+        autoencoder models' input rows.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        matrix = np.zeros((users.size, self.num_items), dtype=dtype)
+        rows, cols = self.flat_pairs(users)
+        if rows.size:
+            matrix[rows, cols] = 1
+        return matrix
+
+    def membership(self, users: np.ndarray) -> np.ndarray:
+        """Boolean ``(len(users), num_items)`` matrix of indexed pairs."""
+        return self.dense_rows(users, dtype=bool)
+
+
 def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     """Indices of the top-``k`` scores per row, ordered by decreasing score.
 
@@ -59,7 +116,7 @@ def top_k_indices(scores: np.ndarray, k: int) -> np.ndarray:
     return np.take_along_axis(partition, order, axis=1)
 
 
-class UserItemIndex:
+class UserItemIndex(_FlatPairOps):
     """Immutable CSR index of ``user -> sorted unique item ids``.
 
     Parameters
@@ -95,6 +152,36 @@ class UserItemIndex:
         self._membership_table_built = False
 
     # ------------------------------------------------------------------ #
+    @classmethod
+    def from_flat_keys(cls, num_users: int, num_items: int,
+                       keys: np.ndarray) -> "UserItemIndex":
+        """Build from already-sorted unique flat keys, skipping the sort.
+
+        ``keys`` must be sorted ascending with no duplicates (the invariant
+        :attr:`flat_keys` documents).  Because the regular constructor derives
+        its CSR from exactly that sorted unique key array, this fast path is
+        bit-identical to a from-scratch build on the same pair set — it is how
+        :meth:`repro.engine.online.OnlineUserItemIndex.compact` folds a delta
+        into the base in one linear merge instead of an O(nnz log nnz) resort.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        index = cls.__new__(cls)
+        index.num_users = int(num_users)
+        index.num_items = int(num_items)
+        users = keys // index.num_items
+        index.indptr = np.zeros(index.num_users + 1, dtype=np.int64)
+        np.cumsum(np.bincount(users, minlength=index.num_users),
+                  out=index.indptr[1:])
+        index.indices = keys % index.num_items
+        index.indptr.setflags(write=False)
+        index.indices.setflags(write=False)
+        frozen_keys = keys.copy()
+        frozen_keys.setflags(write=False)
+        index._flat_keys = frozen_keys
+        index._membership_table = None
+        index._membership_table_built = False
+        return index
+
     @classmethod
     def from_split(cls, split, which: str = "train") -> "UserItemIndex":
         """Index over one partition of a :class:`repro.data.DataSplit`.
@@ -147,28 +234,9 @@ class UserItemIndex:
         indexed (user, item) pair.
         """
         users = np.asarray(users, dtype=np.int64)
-        counts = self.counts(users)
-        total = int(counts.sum())
-        if total == 0:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        rows = np.repeat(np.arange(users.size, dtype=np.int64), counts)
-        # Positions into self.indices: each user's slice starts at
-        # indptr[user]; subtracting the running offset of earlier slices
-        # turns a global arange into per-slice aranges.
-        offsets = np.cumsum(counts) - counts
-        positions = (np.arange(total, dtype=np.int64)
-                     - np.repeat(offsets, counts)
-                     + np.repeat(self.indptr[users], counts))
+        rows, positions = _expand_slices(self.counts(users),
+                                         self.indptr[users])
         return rows, self.indices[positions]
-
-    def mask(self, scores: np.ndarray, users: np.ndarray,
-             value: float = -np.inf) -> np.ndarray:
-        """Assign ``value`` at every indexed (user, item) position, in place."""
-        rows, cols = self.flat_pairs(users)
-        if rows.size:
-            scores[rows, cols] = value
-        return scores
 
     @property
     def flat_keys(self) -> np.ndarray:
@@ -234,24 +302,6 @@ class UserItemIndex:
             return np.zeros(keys.shape, dtype=bool)
         positions = np.minimum(np.searchsorted(flat, keys), flat.size - 1)
         return flat[positions] == keys
-
-    def dense_rows(self, users: np.ndarray, dtype=bool) -> np.ndarray:
-        """Dense ``(len(users), num_items)`` indicator rows in ``dtype``.
-
-        One flat-index scatter per batch — the single implementation behind
-        :meth:`membership`, the training pipeline's user-row batches and the
-        autoencoder models' input rows.
-        """
-        users = np.asarray(users, dtype=np.int64)
-        matrix = np.zeros((users.size, self.num_items), dtype=dtype)
-        rows, cols = self.flat_pairs(users)
-        if rows.size:
-            matrix[rows, cols] = 1
-        return matrix
-
-    def membership(self, users: np.ndarray) -> np.ndarray:
-        """Boolean ``(len(users), num_items)`` matrix of indexed pairs."""
-        return self.dense_rows(users, dtype=bool)
 
     def __repr__(self) -> str:
         return (f"UserItemIndex(users={self.num_users}, items={self.num_items}, "
@@ -329,6 +379,25 @@ class InferenceIndex:
     @property
     def is_factorized(self) -> bool:
         return self.user_embeddings is not None
+
+    def rebind_users(self, user_embeddings: np.ndarray) -> None:
+        """Swap in a replacement (typically grown) user-embedding matrix.
+
+        The online-serving path appends fallback rows for previously unseen
+        users; everything else about the snapshot (item matrix, norms, score
+        buffer — which is keyed by batch rows, not ``num_users``) stays valid.
+        The matrix may only grow: shrinking would dangle cached results.
+        """
+        if not self.is_factorized:
+            raise ValueError("rebind_users requires a factorised InferenceIndex")
+        user_embeddings = np.ascontiguousarray(user_embeddings, dtype=self.dtype)
+        if user_embeddings.ndim != 2 or \
+                user_embeddings.shape[1] != self.user_embeddings.shape[1]:
+            raise ValueError("replacement user matrix must keep the embedding dim")
+        if user_embeddings.shape[0] < self.num_users:
+            raise ValueError("replacement user matrix cannot drop existing users")
+        self.user_embeddings = user_embeddings
+        self.num_users = int(user_embeddings.shape[0])
 
     @property
     def item_norms(self) -> np.ndarray:

@@ -71,6 +71,15 @@ class RecommendationService:
     candidate_factor:
         Candidates kept per user in stage 1, as a multiple of ``k``
         (``candidate_factor * k``); must be >= 1.
+    candidate_escalation:
+        With ``candidate_mode`` set, re-serve the *uncertified* users of each
+        batch with a doubled candidate factor (doubling again up to
+        ``max_candidate_factor``), then fall back to the exact path for
+        whoever is still uncertified — every served list is then provably
+        identical to exhaustive search.  Escalation counters land in
+        :attr:`certificate_stats`.
+    max_candidate_factor:
+        Upper bound of the escalation doubling (>= ``candidate_factor``).
     """
 
     def __init__(self, model=None, split=None, *,
@@ -79,7 +88,9 @@ class RecommendationService:
                  cache_size: int = 4096, num_shards: int = 1,
                  shard_policy: str = "contiguous", parallel: bool = False,
                  executor=None, candidate_mode: Optional[str] = None,
-                 candidate_factor: int = 4) -> None:
+                 candidate_factor: int = 4,
+                 candidate_escalation: bool = False,
+                 max_candidate_factor: int = 32) -> None:
         if index is None:
             if model is None:
                 raise ValueError("provide a model or a prebuilt InferenceIndex")
@@ -96,6 +107,14 @@ class RecommendationService:
         self.shard_policy = shard_policy
         self.candidate_mode = candidate_mode
         self.candidate_factor = int(candidate_factor)
+        self.candidate_escalation = bool(candidate_escalation)
+        self.max_candidate_factor = int(max_candidate_factor)
+        if self.candidate_escalation and candidate_mode is None:
+            raise ValueError("candidate_escalation re-serves uncertified "
+                             "users and requires a candidate_mode")
+        if (candidate_mode is not None
+                and self.max_candidate_factor < self.candidate_factor):
+            raise ValueError("max_candidate_factor must be >= candidate_factor")
         self._executor = executor if executor is not None else (
             ThreadedExecutor() if parallel else SerialExecutor())
         self._model = model
@@ -159,6 +178,11 @@ class RecommendationService:
             "certified_batches": backend.certified_batches,
             "users": backend.total_users,
             "certified_users": backend.certified_users,
+            "escalation": self.candidate_escalation,
+            "max_factor": self.max_candidate_factor,
+            "escalation_rounds": backend.escalation_rounds,
+            "escalated_users": backend.escalated_users,
+            "exact_fallback_users": backend.exact_fallback_users,
         }
 
     @property
@@ -170,13 +194,26 @@ class RecommendationService:
         return self._sharded if self._sharded is not None else self.index
 
     def refresh(self, model=None) -> "RecommendationService":
-        """Re-freeze the model's embeddings (after more training) and clear the cache."""
+        """Re-freeze the model's embeddings (after more training).
+
+        Cached results are dropped only when the re-frozen embeddings
+        actually differ from the serving snapshot — a defensive refresh
+        (e.g. a train/eval mode flip without weight updates) keeps the whole
+        LRU cache warm.  Scorer-fallback snapshots cannot be compared, so
+        they always clear.
+        """
         model = model if model is not None else self._model
         if model is None:
             raise ValueError("no model to refresh from")
         self._model = model
-        self.index = InferenceIndex.from_model(
+        fresh = InferenceIndex.from_model(
             model, self._split, dtype=self._dtype, exclusion=self.index.exclusion)
+        if not self._snapshot_changed(self.index, fresh):
+            # Same embeddings, same exclusion: the frozen stack still serves
+            # identical results, so keep everything — the sharded slices, the
+            # quantised blocks, the LRU cache and the certificate counters.
+            return self
+        self.index = fresh
         if self.num_shards > 1:
             # Re-shard the fresh snapshot; the executor (and its thread pool)
             # carries over so refresh never leaks worker threads.
@@ -188,10 +225,47 @@ class RecommendationService:
         self.clear_cache()
         return self
 
+    @staticmethod
+    def _snapshot_changed(previous: InferenceIndex,
+                          current: InferenceIndex) -> bool:
+        """Whether a re-frozen snapshot could serve different results."""
+        if not (previous.is_factorized and current.is_factorized):
+            return True
+        return not (
+            previous.user_embeddings.shape == current.user_embeddings.shape
+            and np.array_equal(previous.user_embeddings, current.user_embeddings)
+            and np.array_equal(previous.item_embeddings, current.item_embeddings))
+
     def clear_cache(self) -> None:
         self._cache.clear()
         self.cache_hits = 0
         self.cache_misses = 0
+
+    def invalidate_users(self, users) -> int:
+        """Drop cached results of just these users; everyone else stays warm.
+
+        The targeted counterpart of :meth:`clear_cache` for online updates:
+        an ingest only changes the touched users' exclusion sets, so only
+        their entries can be stale.  Hit/miss counters are preserved.
+        Returns the number of entries removed.
+        """
+        if not self._cache:
+            return 0
+        targets = {int(user) for user in np.atleast_1d(np.asarray(users))}
+        stale = [key for key in self._cache if key[0] in targets]
+        for key in stale:
+            del self._cache[key]
+        return len(stale)
+
+    def _serve_top_k(self, users: np.ndarray, k: int,
+                     exclude_train: bool) -> np.ndarray:
+        """One backend dispatch, escalation-aware on the candidate path."""
+        backend = self._backend
+        if self._candidates is not None and self.candidate_escalation:
+            return backend.top_k_adaptive(
+                users, k, exclude_train=exclude_train,
+                max_factor=self.max_candidate_factor)
+        return backend.top_k(users, k, exclude_train=exclude_train)
 
     # ------------------------------------------------------------------ #
     def top_k(self, users: Sequence[int], k: int,
@@ -208,12 +282,11 @@ class RecommendationService:
         if k <= 0:
             raise ValueError("k must be positive")
         width = min(k, self.num_items)
-        backend = self._backend
         out = np.empty((users.size, width), dtype=np.int64)
         for start in range(0, users.size, self.batch_size):
             block = users[start:start + self.batch_size]
-            out[start:start + block.size] = backend.top_k(
-                block, k, exclude_train=exclude_train)
+            out[start:start + block.size] = self._serve_top_k(
+                block, k, exclude_train)
         return out
 
     def recommend(self, user: int, k: int = 10,
@@ -227,8 +300,9 @@ class RecommendationService:
                 self.cache_hits += 1
                 return list(cached)
         self.cache_misses += 1
+        block = np.asarray([int(user)], dtype=np.int64)
         items = [int(item) for item in
-                 self._backend.top_k([int(user)], k, exclude_train=exclude_train)[0]]
+                 self._serve_top_k(block, int(k), bool(exclude_train))[0]]
         if self.cache_size > 0:
             self._cache[key] = tuple(items)
             if len(self._cache) > self.cache_size:

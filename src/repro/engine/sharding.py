@@ -356,6 +356,22 @@ class ShardedInferenceIndex:
     def is_factorized(self) -> bool:
         return True
 
+    def rebind_users(self, user_embeddings: np.ndarray) -> None:
+        """Swap in a replacement (typically grown) user-embedding matrix.
+
+        Mirrors :meth:`InferenceIndex.rebind_users` for the sharded facade:
+        shards only hold item slices, so growing the user side never touches
+        them.  The matrix may only grow.
+        """
+        user_embeddings = np.asarray(user_embeddings)
+        if user_embeddings.ndim != 2 or \
+                user_embeddings.shape[1] != self.user_embeddings.shape[1]:
+            raise ValueError("replacement user matrix must keep the embedding dim")
+        if user_embeddings.shape[0] < self.num_users:
+            raise ValueError("replacement user matrix cannot drop existing users")
+        self.user_embeddings = user_embeddings
+        self.num_users = int(user_embeddings.shape[0])
+
     # ------------------------------------------------------------------ #
     def top_k(self, users: Sequence[int], k: int,
               exclude_train: bool = True) -> np.ndarray:

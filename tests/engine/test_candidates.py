@@ -253,3 +253,110 @@ class TestServiceIntegration:
         model.eval()
         with pytest.raises(ValueError, match="factorised"):
             RecommendationService(model, tiny_split, candidate_mode="int8")
+
+
+class TestAdaptiveEscalation:
+    """Escalated serving must always equal exhaustive exact search."""
+
+    def _tight_index(self, rng, **kwargs):
+        # Near-degenerate item embeddings cluster the scores so a factor-1
+        # int8 pass cannot certify everyone — escalation has real work.
+        index = _random_index(rng, **kwargs)
+        index.item_embeddings *= 0.01
+        index.item_embeddings += rng.normal(scale=1e-4,
+                                            size=index.item_embeddings.shape)
+        index._item_norms = None
+        return index
+
+    def test_adaptive_equals_exact_flat(self, rng):
+        index = self._tight_index(rng)
+        backend = CandidateIndex(index, "int8", factor=1)
+        users = np.arange(index.num_users)
+        got = backend.top_k_adaptive(users, 10, max_factor=16)
+        np.testing.assert_array_equal(got, index.top_k(users, 10))
+
+    def test_adaptive_equals_exact_sharded(self, rng):
+        index = self._tight_index(rng)
+        sharded = ShardedInferenceIndex.from_index(index, 4)
+        backend = ShardedCandidateIndex(sharded, "int8", factor=1)
+        users = np.arange(index.num_users)
+        got = backend.top_k_adaptive(users, 10, max_factor=16)
+        np.testing.assert_array_equal(got, sharded.top_k(users, 10))
+
+    def test_escalation_counters_advance(self, rng):
+        index = self._tight_index(rng)
+        backend = CandidateIndex(index, "int8", factor=1)
+        users = np.arange(index.num_users)
+        backend.top_k_adaptive(users, 10, max_factor=16)
+        # The tight scores force at least one doubling (or the certificate
+        # fired everywhere, in which case nothing may be counted).
+        uncertified_initially = backend.escalated_users > 0
+        if uncertified_initially:
+            assert backend.escalation_rounds >= 1
+        else:
+            assert backend.escalation_rounds == 0
+            assert backend.exact_fallback_users == 0
+
+    def test_max_factor_bounds_doubling_then_exact_fallback(self, rng):
+        index = self._tight_index(rng)
+        backend = CandidateIndex(index, "int8", factor=1)
+        users = np.arange(index.num_users)
+        # max_factor == factor: no doubling allowed — every uncertified user
+        # must go straight to the exact fallback, and parity still holds.
+        got = backend.top_k_adaptive(users, 10, max_factor=1)
+        assert backend.escalation_rounds == 0
+        np.testing.assert_array_equal(got, index.top_k(users, 10))
+
+    def test_max_factor_below_factor_rejected(self, rng):
+        backend = CandidateIndex(_random_index(rng), "int8", factor=4)
+        with pytest.raises(ValueError, match="max_factor"):
+            backend.top_k_adaptive(np.arange(5), 3, max_factor=2)
+
+    def test_service_escalation_stats_and_parity(self, rng):
+        index = self._tight_index(rng)
+        exact = InferenceIndex(index.num_users, index.num_items,
+                               user_embeddings=index.user_embeddings,
+                               item_embeddings=index.item_embeddings,
+                               exclusion=index.exclusion)
+        service = RecommendationService(index=index, candidate_mode="int8",
+                                        candidate_factor=1,
+                                        candidate_escalation=True,
+                                        max_candidate_factor=16)
+        users = np.arange(index.num_users)
+        np.testing.assert_array_equal(service.top_k(users, 10),
+                                      exact.top_k(users, 10))
+        stats = service.certificate_stats
+        assert stats["escalation"] is True and stats["max_factor"] == 16
+        assert stats["escalated_users"] == service.candidates.escalated_users
+        assert stats["exact_fallback_users"] >= 0
+
+    def test_service_escalation_requires_candidate_mode(self, tiny_split):
+        model = BprMF(tiny_split, embedding_dim=8, seed=2)
+        model.eval()
+        with pytest.raises(ValueError, match="candidate_mode"):
+            RecommendationService(model, candidate_escalation=True)
+        with pytest.raises(ValueError, match="max_candidate_factor"):
+            RecommendationService(model, candidate_mode="int8",
+                                  candidate_factor=8, max_candidate_factor=4)
+
+    def test_adaptive_does_not_inflate_aggregate_counters(self, rng):
+        index = self._tight_index(rng)
+        backend = CandidateIndex(index, "int8", factor=1)
+        users = np.arange(index.num_users)
+        backend.top_k_adaptive(users, 10, max_factor=16)
+        # One served batch of N users — escalation re-serves must not
+        # double-count them in the aggregate certification rate.
+        assert backend.total_users == index.num_users
+        assert backend.total_batches == 1
+        assert backend.certified_users <= backend.total_users
+
+    def test_adaptive_stops_doubling_once_catalogue_covered(self, rng):
+        index = self._tight_index(rng, num_items=30)
+        backend = CandidateIndex(index, "int8", factor=4)
+        users = np.arange(index.num_users)
+        # factor*k = 40 >= 30 items: the first pass is already exhaustive, so
+        # doubling can never newly certify — uncertified users must go
+        # straight to the exact fallback without burning escalation rounds.
+        got = backend.top_k_adaptive(users, 10, max_factor=64)
+        assert backend.escalation_rounds == 0
+        np.testing.assert_array_equal(got, index.top_k(users, 10))

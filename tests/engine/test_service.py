@@ -96,6 +96,28 @@ class TestCache:
         service.recommend(0, k=3)
         assert service.cache_hits == 0 and service.cache_misses == 1
 
+    def test_invalidate_users_is_targeted(self, model):
+        """Only the named users' entries go; everyone else stays warm."""
+        service = RecommendationService(model)
+        service.recommend(0, k=3)
+        service.recommend(0, k=5)  # two entries for user 0
+        service.recommend(1, k=3)
+        removed = service.invalidate_users([0])
+        assert removed == 2
+        assert service.cache_misses == 3  # counters preserved
+        service.recommend(1, k=3)
+        assert service.cache_hits == 1  # user 1 still cached
+        service.recommend(0, k=3)
+        assert service.cache_misses == 4  # user 0 re-served
+
+    def test_invalidate_users_missing_user_is_noop(self, model):
+        service = RecommendationService(model)
+        service.recommend(0, k=3)
+        assert service.invalidate_users([5, 6]) == 0
+        assert service.invalidate_users(np.asarray([], dtype=np.int64)) == 0
+        service.recommend(0, k=3)
+        assert service.cache_hits == 1
+
 
 class TestRefresh:
     def test_refresh_sees_new_weights(self, model):
@@ -124,6 +146,24 @@ class TestRefresh:
         assert service.cache_hits == 0 and service.cache_misses == 1
         assert after != before  # negated embeddings invert the ranking
 
+    def test_refresh_with_unchanged_weights_keeps_cache(self, model):
+        service = RecommendationService(model)
+        first = service.recommend(0, k=3)
+        service.refresh()
+        assert len(service._cache) == 1 and service.cache_misses == 1
+        assert service.recommend(0, k=3) == first
+        assert service.cache_hits == 1
+
+    def test_refresh_always_clears_for_scorer_fallback(self, tiny_split):
+        from repro.models import MultiVAE
+        model = MultiVAE(tiny_split, seed=0)
+        model.eval()
+        service = RecommendationService(model, tiny_split)
+        service.recommend(0, k=3)
+        # Scorer snapshots cannot be diffed — refresh must stay conservative.
+        service.refresh()
+        assert len(service._cache) == 0 and service.cache_misses == 0
+
 
 class TestShardedService:
     """Sharded and unsharded services must be interchangeable."""
@@ -145,11 +185,22 @@ class TestShardedService:
         assert first == second
         assert service.cache_hits == 1 and service.cache_misses == 1
 
-    def test_sharded_refresh_clears_cache(self, model):
+    def test_sharded_refresh_keeps_cache_when_unchanged(self, model):
+        # A defensive refresh from the same weights must not cold-start the
+        # cache: invalidation is gated on the embeddings actually changing.
         service = RecommendationService(model, num_shards=4)
         service.recommend(0, k=3)
         service.refresh()
+        assert service.cache_misses == 1 and len(service._cache) == 1
+
+    def test_sharded_refresh_clears_cache_on_weight_change(self, model):
+        service = RecommendationService(model, num_shards=4)
+        service.recommend(0, k=3)
+        for parameter in model.parameters():
+            parameter.data = parameter.data + 0.25
+        service.refresh()
         assert service.cache_hits == 0 and service.cache_misses == 0
+        assert len(service._cache) == 0
 
 
 class TestModelIntegration:
@@ -181,3 +232,19 @@ class TestModelIntegration:
         assert model.recommend(0, k=5) == [int(i) for i in expected]
         model.load_state_dict(state)
         assert model.recommend(0, k=5) == before
+
+
+class TestNoOpRefresh:
+    def test_noop_refresh_keeps_backends_and_counters(self, tiny_split):
+        from repro.engine import RecommendationService as Service
+        model = BprMF(tiny_split, embedding_dim=8, seed=2)
+        model.eval()
+        service = Service(model, num_shards=3, candidate_mode="int8")
+        service.top_k(np.arange(8), 4)
+        sharded, candidates = service.sharded, service.candidates
+        stats = service.certificate_stats
+        service.refresh()
+        # Unchanged embeddings: no re-shard, no requantise, counters intact.
+        assert service.sharded is sharded
+        assert service.candidates is candidates
+        assert service.certificate_stats == stats

@@ -208,3 +208,123 @@ class TestExperimentCommand:
     def test_unknown_identifier(self):
         with pytest.raises(KeyError):
             main(["experiment", "table42"])
+
+
+class TestOnlineRecommend:
+    BASE = ["recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0,2", "-k", "4", "--json"]
+
+    def _payload(self, capsys, extra):
+        assert main(self.BASE + extra) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def _events(self, tmp_path, rows, header="user,item"):
+        path = tmp_path / "events.csv"
+        lines = ([header] if header else []) + [f"{u},{i}" for u, i in rows]
+        path.write_text("\n".join(lines) + "\n")
+        return str(path)
+
+    def test_ingest_reports_stats_and_dedupes(self, capsys, tmp_path):
+        path = self._events(tmp_path, [(0, 3), (1, 5), (0, 3)])
+        payload = self._payload(capsys, ["--ingest", path])
+        stats = payload["ingest"]
+        assert stats["events"] == 3
+        assert stats["ingested"] <= 2  # batch duplicate dropped
+        assert stats["compactions"] == 0
+
+    def test_ingested_item_excluded_from_recommendations(self, capsys, tmp_path):
+        baseline = self._payload(capsys, [])
+        consumed = baseline["recommendations"]["0"][0]
+        path = self._events(tmp_path, [(0, consumed)])
+        payload = self._payload(capsys, ["--ingest", path])
+        assert consumed not in payload["recommendations"]["0"]
+        assert payload["recommendations"]["2"] == baseline["recommendations"]["2"]
+
+    def test_ingest_serves_new_users(self, capsys, tmp_path):
+        # User id beyond the split: created by ingest, then recommendable.
+        path = self._events(tmp_path, [(99, 1), (99, 2)])
+        assert main([
+            "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "99", "-k", "4", "--json",
+            "--ingest", path,
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ingest"]["new_users"] >= 1
+        recs = payload["recommendations"]["99"]
+        assert len(recs) == 4 and 1 not in recs and 2 not in recs
+
+    def test_ingest_composes_with_shards_and_candidates(self, capsys, tmp_path):
+        path = self._events(tmp_path, [(0, 3), (2, 5)])
+        plain = self._payload(capsys, ["--ingest", path])
+        for extra in (["--shards", "3"],
+                      ["--candidates", "int8", "--adaptive-candidates"]):
+            payload = self._payload(capsys, ["--ingest", path] + extra)
+            assert payload["recommendations"] == plain["recommendations"]
+
+    def test_compact_threshold_triggers_merge(self, capsys, tmp_path):
+        path = self._events(tmp_path, [(0, 1), (0, 2), (1, 3), (1, 4)])
+        payload = self._payload(capsys, ["--ingest", path,
+                                         "--compact-threshold", "2"])
+        assert payload["ingest"]["compacted"] is True
+        assert payload["ingest"]["delta_size"] == 0
+
+    def test_text_output_reports_ingest(self, capsys, tmp_path):
+        path = self._events(tmp_path, [(0, 3)])
+        assert main([
+            "recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0", "-k", "3",
+            "--ingest", path,
+        ]) == 0
+        assert "ingested" in capsys.readouterr().out
+
+    def test_rejects_bad_flag_combinations(self, tmp_path):
+        with pytest.raises(SystemExit, match="compact-threshold"):
+            main(self.BASE + ["--ingest", "x.csv", "--compact-threshold", "0"])
+        with pytest.raises(SystemExit, match="adaptive-candidates"):
+            main(self.BASE + ["--adaptive-candidates"])
+        with pytest.raises(SystemExit, match="max-candidate-factor"):
+            main(self.BASE + ["--candidates", "int8",
+                              "--candidate-factor", "8",
+                              "--max-candidate-factor", "2"])
+
+    def test_rejects_unreadable_and_malformed_events(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(self.BASE + ["--ingest", str(tmp_path / "missing.csv")])
+        bad = tmp_path / "bad.csv"
+        bad.write_text("user,item\n0,not-an-item\n")
+        with pytest.raises(SystemExit, match="integer"):
+            main(self.BASE + ["--ingest", str(bad)])
+        empty = tmp_path / "empty.csv"
+        empty.write_text("user,item\n")
+        with pytest.raises(SystemExit, match="no events"):
+            main(self.BASE + ["--ingest", str(empty)])
+
+    def test_rejects_out_of_catalogue_items(self, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text("user,item\n0,999999\n")
+        with pytest.raises(SystemExit, match="item id out of range"):
+            main(self.BASE + ["--ingest", str(path)])
+
+    def test_help_documents_online_flags(self):
+        import argparse
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        text = subparsers.choices["recommend"].format_help()
+        assert "--ingest" in text and "--compact-threshold" in text
+        assert "--adaptive-candidates" in text
+        assert "--max-candidate-factor" in text
+
+    def test_typoed_first_data_row_errors_not_skipped(self, tmp_path):
+        # A malformed FIRST line in a headerless file must error like any
+        # other line, not silently vanish as a presumed header.
+        bad = tmp_path / "events.csv"
+        bad.write_text("O,3\n1,5\n")
+        with pytest.raises(SystemExit, match="integer"):
+            main(self.BASE + ["--ingest", str(bad)])
+
+    def test_blank_line_before_header_tolerated(self, capsys, tmp_path):
+        path = tmp_path / "events.csv"
+        path.write_text("\nuser,item\n0,3\n1,5\n")
+        payload = self._payload(capsys, ["--ingest", str(path)])
+        assert payload["ingest"]["events"] == 2
