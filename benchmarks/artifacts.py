@@ -8,7 +8,8 @@ a no-op, keeping local runs side-effect free.
 
 Every document is keyed for cross-PR trajectory comparison: the dataset
 preset(s) the numbers were measured on, the git commit they were measured
-at, and an ISO-8601 UTC wall-clock timestamp.  Two ``BENCH_*.json`` files
+at, an ISO-8601 UTC wall-clock timestamp, and the process's peak RSS (so
+memory claims are recorded alongside latency claims).  Two ``BENCH_*.json`` files
 are comparable iff their ``preset`` matches; ``git_sha`` orders them along
 the history.
 """
@@ -23,6 +24,24 @@ import sys
 from datetime import datetime, timezone
 from pathlib import Path
 from typing import Optional
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """High-water resident set size of this process, in bytes.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalised here
+    so the memory claims the benchmarks make (int8 >= 3x smaller blocks,
+    mmap'd snapshots paging lazily) are recorded comparably in the CI JSON.
+    Returns None where the ``resource`` module is unavailable (non-POSIX).
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only dependency
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return int(peak)
+    return int(peak) * 1024
 
 
 def git_sha() -> Optional[str]:
@@ -67,6 +86,7 @@ def write_artifact(name: str, payload, *,
         "numpy": np.__version__,
         "platform": platform.platform(),
         "dataset_override": os.environ.get("REPRO_BENCH_DATASET"),
+        "peak_rss_bytes": peak_rss_bytes(),
         "results": payload,
     }
     path = directory / f"{name}.json"

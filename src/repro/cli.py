@@ -4,7 +4,12 @@ The subcommands cover the common workflows:
 
 * ``train``      — train one model on one dataset preset (or a CSV) and report metrics.
 * ``recommend``  — train (or load a checkpoint) and serve top-K recommendations
-                   through the :mod:`repro.engine` RecommendationService.
+                   through the :mod:`repro.engine` RecommendationService, or
+                   serve straight from an on-disk snapshot (``--snapshot``,
+                   optionally with ``--executor process`` multi-process
+                   fan-out) without touching the model at all.
+* ``snapshot``   — ``save`` a trained model's frozen serving state as a
+                   memory-mappable artifact, or ``inspect`` an existing one.
 * ``experiment`` — run one of the paper's tables/figures by identifier.
 * ``models`` / ``datasets`` / ``experiments`` — list what is available.
 """
@@ -84,6 +89,19 @@ def build_parser() -> argparse.ArgumentParser:
                            help="fan sharded scoring out over a thread pool "
                                 "(shard scoring releases the GIL); requires "
                                 "--shards > 1")
+    recommend.add_argument("--snapshot", default=None, metavar="PATH",
+                           help="serve from this snapshot file (written by "
+                                "'repro snapshot save') instead of training "
+                                "or loading a checkpoint: the frozen "
+                                "embeddings, exclusion index and quantised "
+                                "blocks are memory-mapped zero-copy, so "
+                                "startup is O(open)")
+    recommend.add_argument("--executor", default=None,
+                           choices=["serial", "threads", "process"],
+                           help="fan-out executor for --shards > 1: 'serial', "
+                                "'threads', or 'process' (worker processes "
+                                "re-open the snapshot by offset — requires "
+                                "--snapshot; no matrices are pickled)")
     recommend.add_argument("--candidates", default=None,
                            choices=["int8", "float32"], dest="candidates",
                            help="serve through the two-stage pipeline: "
@@ -115,6 +133,42 @@ def build_parser() -> argparse.ArgumentParser:
                                 "many pairs (results are identical before "
                                 "and after the merge)")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
+
+    snapshot = subparsers.add_parser(
+        "snapshot",
+        help="save or inspect zero-copy memory-mapped serving snapshots")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command")
+    snap_save = snapshot_sub.add_parser(
+        "save", help="freeze a trained model's serving state to one file")
+    snap_save.add_argument("output", help="snapshot file to write")
+    snap_save.add_argument("--model", default="layergcn", help="registered model name")
+    snap_save.add_argument("--dataset", default="games", help="dataset preset name")
+    snap_save.add_argument("--csv", default=None, help="path to a user,item,timestamp CSV")
+    snap_save.add_argument("--embedding-dim", type=int, default=64)
+    snap_save.add_argument("--num-layers", type=int, default=4)
+    snap_save.add_argument("--epochs", type=int, default=10,
+                           help="training epochs before freezing (ignored "
+                                "with --checkpoint)")
+    snap_save.add_argument("--learning-rate", type=float, default=0.005)
+    snap_save.add_argument("--scale", type=float, default=1.0)
+    snap_save.add_argument("--seed", type=int, default=0)
+    snap_save.add_argument("--checkpoint", default=None,
+                           help="load trained weights from this .npz instead "
+                                "of training")
+    snap_save.add_argument("--dtype", default="float64",
+                           choices=["float64", "float32"],
+                           help="serving dtype of the frozen embeddings")
+    snap_save.add_argument("--candidate-modes", default="int8",
+                           help="comma-separated quantised candidate blocks "
+                                "to persist (subset of int8,float32; 'none' "
+                                "to skip)")
+    snap_save.add_argument("--json", action="store_true",
+                           help="emit the snapshot summary as JSON")
+    snap_inspect = snapshot_sub.add_parser(
+        "inspect", help="validate a snapshot's header and print its layout")
+    snap_inspect.add_argument("path", help="snapshot file to inspect")
+    snap_inspect.add_argument("--json", action="store_true",
+                              help="emit the header as JSON")
 
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
     experiment.add_argument("identifier", help="e.g. table3, fig6 (see 'repro experiments')")
@@ -227,6 +281,15 @@ def _command_recommend(args: argparse.Namespace) -> int:
     if args.parallel and args.shards <= 1:
         raise SystemExit("error: --parallel fans out shard scoring and "
                          "requires --shards > 1")
+    if args.parallel and args.executor is not None:
+        raise SystemExit("error: pass either --parallel or --executor, "
+                         "not both")
+    if args.executor == "process" and args.snapshot is None:
+        raise SystemExit("error: --executor process ships snapshot offsets "
+                         "to worker processes and requires --snapshot PATH")
+    if args.snapshot is not None and args.checkpoint is not None:
+        raise SystemExit("error: --snapshot already holds frozen embeddings; "
+                         "drop --checkpoint (or save a new snapshot from it)")
     if args.candidate_factor < 1:
         raise SystemExit("error: --candidate-factor must be a positive integer")
     if args.adaptive_candidates and args.candidates is None:
@@ -246,46 +309,79 @@ def _command_recommend(args: argparse.Namespace) -> int:
         raise SystemExit("error: --users must name at least one user id")
     events = _load_interaction_events(args.ingest) if args.ingest else None
 
-    split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
-                          source_csv=args.csv)
-    if events is None:
-        # With --ingest, unseen user ids are legal (they may be created by
-        # the events); the range check moves to after ingestion.
-        bad = [u for u in users if not 0 <= u < split.num_users]
-        if bad:
-            raise SystemExit(f"error: user ids {bad} outside [0, {split.num_users})")
-    model = build_model(args.model, split, **_model_kwargs(args))
-
-    if args.checkpoint:
-        load_checkpoint(model, args.checkpoint)
-    elif args.epochs > 0:
-        config = TrainerConfig(learning_rate=args.learning_rate, epochs=args.epochs,
-                               early_stopping_patience=5, verbose=False)
-        Trainer(model, split, config).fit()
-    model.eval()
-
     ingest_stats = None
-    if events is not None or args.shards > 1 or args.candidates is not None:
-        from .engine import OnlineRecommendationService, RecommendationService
+    if args.snapshot is not None:
+        # Snapshot serving never touches the dataset or the model: the frozen
+        # state is memory-mapped straight from the file.
+        from .engine import (OnlineRecommendationService,
+                             RecommendationService, SnapshotFormatError)
         engine_kwargs = dict(
             num_shards=args.shards, shard_policy=args.shard_policy,
-            parallel=args.parallel, candidate_mode=args.candidates,
+            parallel=args.parallel, executor=args.executor,
+            candidate_mode=args.candidates,
             candidate_factor=args.candidate_factor,
             candidate_escalation=args.adaptive_candidates,
             max_candidate_factor=args.max_candidate_factor)
         try:
             if events is not None:
                 service = OnlineRecommendationService(
-                    model, split, compact_threshold=args.compact_threshold,
-                    **engine_kwargs)
+                    snapshot=args.snapshot,
+                    compact_threshold=args.compact_threshold, **engine_kwargs)
             else:
-                service = RecommendationService(model, split, **engine_kwargs)
-        except ValueError as error:
-            # e.g. a scorer-fallback model (no item matrix to partition or
-            # quantise).
-            raise SystemExit(f"error: {error}")
+                service = RecommendationService(snapshot=args.snapshot,
+                                                **engine_kwargs)
+        except (SnapshotFormatError, OSError, ValueError) as error:
+            raise SystemExit(f"error: --snapshot: {error}")
+        if events is None:
+            bad = [u for u in users if not 0 <= u < service.num_users]
+            if bad:
+                raise SystemExit(f"error: user ids {bad} outside "
+                                 f"[0, {service.num_users})")
     else:
-        service = model.inference_service()
+        split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
+                              source_csv=args.csv)
+        if events is None:
+            # With --ingest, unseen user ids are legal (they may be created
+            # by the events); the range check moves to after ingestion.
+            bad = [u for u in users if not 0 <= u < split.num_users]
+            if bad:
+                raise SystemExit(f"error: user ids {bad} outside "
+                                 f"[0, {split.num_users})")
+        model = build_model(args.model, split, **_model_kwargs(args))
+
+        if args.checkpoint:
+            load_checkpoint(model, args.checkpoint)
+        elif args.epochs > 0:
+            config = TrainerConfig(learning_rate=args.learning_rate,
+                                   epochs=args.epochs,
+                                   early_stopping_patience=5, verbose=False)
+            Trainer(model, split, config).fit()
+        model.eval()
+
+        if (events is not None or args.shards > 1
+                or args.candidates is not None or args.executor is not None):
+            from .engine import OnlineRecommendationService, RecommendationService
+            engine_kwargs = dict(
+                num_shards=args.shards, shard_policy=args.shard_policy,
+                parallel=args.parallel, executor=args.executor,
+                candidate_mode=args.candidates,
+                candidate_factor=args.candidate_factor,
+                candidate_escalation=args.adaptive_candidates,
+                max_candidate_factor=args.max_candidate_factor)
+            try:
+                if events is not None:
+                    service = OnlineRecommendationService(
+                        model, split, compact_threshold=args.compact_threshold,
+                        **engine_kwargs)
+                else:
+                    service = RecommendationService(model, split,
+                                                    **engine_kwargs)
+            except ValueError as error:
+                # e.g. a scorer-fallback model (no item matrix to partition or
+                # quantise).
+                raise SystemExit(f"error: {error}")
+        else:
+            service = model.inference_service()
     if events is not None:
         try:
             ingest_stats = service.ingest(*events)
@@ -297,12 +393,21 @@ def _command_recommend(args: argparse.Namespace) -> int:
         if bad:
             raise SystemExit(f"error: user ids {bad} outside "
                              f"[0, {service.num_users}) after ingest")
-    top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
-                        exclude_train=not args.include_train)
+    try:
+        top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
+                            exclude_train=not args.include_train)
+    finally:
+        close = getattr(service, "close", None)
+        if close is not None:
+            close()
 
+    source = (f"snapshot {args.snapshot}" if args.snapshot is not None
+              else f"{args.model} on {args.dataset}")
     payload = {
-        "model": args.model,
-        "dataset": args.dataset,
+        "model": None if args.snapshot is not None else args.model,
+        "dataset": None if args.snapshot is not None else args.dataset,
+        "snapshot": args.snapshot,
+        "executor": args.executor,
         "k": args.top_k,
         "shards": args.shards,
         "parallel": bool(args.parallel),
@@ -316,7 +421,7 @@ def _command_recommend(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
-        print(f"{args.model} on {args.dataset} — {service!r}")
+        print(f"{source} — {service!r}")
         if ingest_stats is not None:
             print(f"ingested {ingest_stats['ingested']} new pairs from "
                   f"{ingest_stats['events']} events "
@@ -335,6 +440,95 @@ def _command_recommend(args: argparse.Namespace) -> int:
                       f"over {stats['escalation_rounds']} rounds, "
                       f"{stats['exact_fallback_users']} exact fallbacks "
                       f"(max factor {stats['max_factor']})")
+    return 0
+
+
+def _command_snapshot(args: argparse.Namespace) -> int:
+    if args.snapshot_command == "save":
+        return _command_snapshot_save(args)
+    if args.snapshot_command == "inspect":
+        return _command_snapshot_inspect(args)
+    raise SystemExit("error: snapshot needs a subcommand: save or inspect")
+
+
+def _command_snapshot_save(args: argparse.Namespace) -> int:
+    modes_text = args.candidate_modes.strip().lower()
+    if modes_text in ("", "none"):
+        modes = ()
+    else:
+        modes = tuple(mode.strip() for mode in modes_text.split(","))
+        bad = [mode for mode in modes if mode not in ("int8", "float32")]
+        if bad:
+            raise SystemExit(f"error: unknown --candidate-modes {bad}; "
+                             f"options: int8,float32 (or 'none')")
+
+    split = prepare_split(args.dataset, seed=args.seed, scale=args.scale,
+                          source_csv=args.csv)
+    model = build_model(args.model, split, **_model_kwargs(args))
+    if args.checkpoint:
+        load_checkpoint(model, args.checkpoint)
+    elif args.epochs > 0:
+        config = TrainerConfig(learning_rate=args.learning_rate,
+                               epochs=args.epochs,
+                               early_stopping_patience=5, verbose=False)
+        Trainer(model, split, config).fit()
+    model.eval()
+
+    from .engine import InferenceIndex, save_snapshot, snapshot_info
+    try:
+        index = InferenceIndex.from_model(model, split,
+                                          dtype=np.dtype(args.dtype))
+        path = save_snapshot(args.output, index, candidate_modes=modes,
+                             metadata={"model": args.model,
+                                       "dataset": args.dataset,
+                                       "seed": args.seed})
+    except (ValueError, OSError) as error:
+        # e.g. a scorer-fallback model (no matrices to persist) or an
+        # unwritable output path.
+        raise SystemExit(f"error: {error}")
+    header = snapshot_info(path)
+    payload = {
+        "snapshot": str(path),
+        "bytes": path.stat().st_size,
+        "users": header["num_users"],
+        "items": header["num_items"],
+        "dim": header["dim"],
+        "dtype": header["dtype"],
+        "candidate_modes": header["candidate_modes"],
+        "sections": sorted(header["sections"]),
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"wrote {payload['bytes']} bytes to {path}")
+        print(f"{payload['users']} users x {payload['items']} items, "
+              f"dim {payload['dim']}, dtype {payload['dtype']}, "
+              f"candidate modes {payload['candidate_modes'] or ['(none)']}")
+        print("serve it with: repro recommend --snapshot", path)
+    return 0
+
+
+def _command_snapshot_inspect(args: argparse.Namespace) -> int:
+    from .engine import SnapshotFormatError, snapshot_info
+    try:
+        header = snapshot_info(args.path)
+    except (SnapshotFormatError, OSError) as error:
+        raise SystemExit(f"error: {error}")
+    if args.json:
+        print(json.dumps(header, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.path}: serving snapshot v{header['format_version']}")
+    print(f"  {header['num_users']} users x {header['num_items']} items, "
+          f"dim {header['dim']}, dtype {header['dtype']}")
+    print(f"  exclusion: {'yes' if header['has_exclusion'] else 'no'}; "
+          f"candidate modes: {header['candidate_modes'] or '(none)'}")
+    for name in sorted(header["sections"]):
+        spec = header["sections"][name]
+        print(f"  section {name}: {spec['dtype']} "
+              f"{tuple(spec['shape'])} @ +{spec['offset']} "
+              f"({spec['nbytes']} bytes)")
+    if header.get("metadata"):
+        print(f"  metadata: {header['metadata']}")
     return 0
 
 
@@ -366,6 +560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_train(args)
     if args.command == "recommend":
         return _command_recommend(args)
+    if args.command == "snapshot":
+        return _command_snapshot(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "models":

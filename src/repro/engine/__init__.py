@@ -52,6 +52,17 @@ models into a fast, reusable serving path:
   from-scratch rebuild — overlay serving ≡ rebuild serving, before and
   after compaction, across sharded and candidate backends.
 
+* :class:`ServingSnapshot` / :func:`save_snapshot` / :func:`load_snapshot` —
+  zero-copy persistence of the whole frozen serving state (embeddings, item
+  norms, exclusion CSR, quantised candidate blocks) in ONE versioned,
+  crc32-checksummed, atomically swapped file.  ``load_snapshot(mmap=True)``
+  rebuilds the serving stack as read-only memory-mapped views — O(open)
+  worker cold start, pages faulted lazily, bit-identical serving — and
+  :class:`ProcessExecutor` plugs into the executor seam to fan shards out
+  to worker processes that re-open the snapshot by offset (tasks ship
+  ``(snapshot path, shard id, user batch)``, never matrices).  Corrupted or
+  version-skewed files are rejected with :class:`SnapshotFormatError`.
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
@@ -79,10 +90,19 @@ from .online import (
 )
 from .sharding import (
     ItemShard,
+    ProcessExecutor,
     SerialExecutor,
     ShardedInferenceIndex,
     ThreadedExecutor,
     partition_items,
+)
+from .snapshot import (
+    SNAPSHOT_VERSION,
+    ServingSnapshot,
+    SnapshotFormatError,
+    load_snapshot,
+    save_snapshot,
+    snapshot_info,
 )
 
 __all__ = [
@@ -95,7 +115,14 @@ __all__ = [
     "ItemShard",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
     "partition_items",
+    "SNAPSHOT_VERSION",
+    "ServingSnapshot",
+    "SnapshotFormatError",
+    "save_snapshot",
+    "load_snapshot",
+    "snapshot_info",
     "CANDIDATE_MODES",
     "CandidateIndex",
     "ShardedCandidateIndex",

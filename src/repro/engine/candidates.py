@@ -139,6 +139,29 @@ class QuantizedItemBlock:
         approx *= self.scales[None, :]
         return approx
 
+    def take(self, item_ids: np.ndarray) -> "QuantizedItemBlock":
+        """Sub-block covering ``item_ids`` (row indices into this block).
+
+        Quantisation is per-item, so the sub-block is bit-identical to
+        requantising exactly those items' embeddings — which is how a
+        whole-catalogue snapshot block turns into per-shard blocks without
+        requantising.  A contiguous ascending id range slices zero-copy
+        views (mirroring the contiguous shard policy's embedding views);
+        anything else gathers copies.
+        """
+        item_ids = np.asarray(item_ids, dtype=np.int64)
+        if item_ids.size == 0:
+            sel = slice(0, 0)
+        elif int(item_ids[-1]) - int(item_ids[0]) + 1 == item_ids.size \
+                and bool((np.diff(item_ids) == 1).all()):
+            sel = slice(int(item_ids[0]), int(item_ids[-1]) + 1)
+        else:
+            sel = item_ids
+        return QuantizedItemBlock(
+            self.mode, self.codes[sel],
+            None if self.scales is None else self.scales[sel],
+            self.bound_norms[sel], self.item_norms[sel])
+
     def __repr__(self) -> str:
         return (f"QuantizedItemBlock(mode={self.mode!r}, items={self.num_items}, "
                 f"dim={self.dim}, nbytes={self.nbytes})")
@@ -436,7 +459,8 @@ class CandidateIndex(_CertifiedTopK):
     """
 
     def __init__(self, index: InferenceIndex, mode: str = "int8",
-                 factor: int = 4) -> None:
+                 factor: int = 4, *,
+                 block: Optional[QuantizedItemBlock] = None) -> None:
         super().__init__(mode, factor)
         if not index.is_factorized:
             raise ValueError(
@@ -444,8 +468,19 @@ class CandidateIndex(_CertifiedTopK):
                 "(a model exposing user_item_embeddings); scorer-fallback "
                 "snapshots have no item matrix to quantise")
         self.index = index
-        self.block = quantize_item_matrix(index.item_embeddings, mode,
-                                          item_norms=index.item_norms)
+        if block is not None:
+            # Prebuilt (typically memory-mapped snapshot) block: adopting it
+            # skips the O(items x dim) requantisation — the on-disk codes are
+            # bit-identical to what quantize_item_matrix would rebuild.
+            if block.mode != mode:
+                raise ValueError(f"prebuilt block was quantised as "
+                                 f"{block.mode!r}, not {mode!r}")
+            if block.num_items != index.num_items:
+                raise ValueError("prebuilt block must cover the catalogue")
+            self.block = block
+        else:
+            self.block = quantize_item_matrix(index.item_embeddings, mode,
+                                              item_norms=index.item_norms)
         self._max_item_norm = (float(self.block.item_norms.max())
                                if self.block.num_items else 0.0)
 
@@ -514,14 +549,32 @@ class ShardedCandidateIndex(_CertifiedTopK):
     """
 
     def __init__(self, sharded: ShardedInferenceIndex, mode: str = "int8",
-                 factor: int = 4) -> None:
+                 factor: int = 4, *,
+                 blocks: Optional[Sequence[QuantizedItemBlock]] = None) -> None:
         super().__init__(mode, factor)
         self.sharded = sharded
-        self.blocks = [
-            quantize_item_matrix(shard.item_embeddings, mode,
-                                 item_norms=shard.item_norms)
-            for shard in sharded.shards
-        ]
+        if blocks is not None:
+            # Prebuilt per-shard blocks (sliced from a snapshot's quantised
+            # sections): quantisation is per-item, so a row slice of the
+            # whole-catalogue block is bit-identical to requantising the
+            # shard's embedding slice.
+            blocks = list(blocks)
+            if len(blocks) != sharded.num_shards:
+                raise ValueError("need one prebuilt block per shard")
+            for shard, block in zip(sharded.shards, blocks):
+                if block.mode != mode:
+                    raise ValueError(f"prebuilt block was quantised as "
+                                     f"{block.mode!r}, not {mode!r}")
+                if block.num_items != shard.num_local_items:
+                    raise ValueError("prebuilt blocks must align with the "
+                                     "shard partition")
+            self.blocks = blocks
+        else:
+            self.blocks = [
+                quantize_item_matrix(shard.item_embeddings, mode,
+                                     item_norms=shard.item_norms)
+                for shard in sharded.shards
+            ]
         self._max_item_norm = max(
             (float(block.item_norms.max())
              for block in self.blocks if block.num_items), default=0.0)
@@ -575,13 +628,21 @@ class ShardedCandidateIndex(_CertifiedTopK):
         user_block = self.sharded.user_embeddings[users]
         user_norms = np.linalg.norm(
             user_block.astype(np.float64, copy=False), axis=1)
-        tasks = [
-            (lambda shard=shard, block=block: self._shard_task(
-                shard, block, user_block, users, user_norms, factor * k,
-                exclude_train))
-            for shard, block in zip(self.sharded.shards, self.blocks)
-        ]
-        results = self.sharded.executor.run(tasks)
+        if getattr(self.sharded.executor, "ships_payloads", False):
+            # Multi-process fan-out: workers run _two_stage_block over their
+            # own mapped snapshot sections and return the exactly-rescored
+            # candidates; the certified merge stays here in the router.
+            results = self.sharded.executor.fan_out(
+                "candidates", users, factor * k, self.mode,
+                bool(exclude_train))
+        else:
+            tasks = [
+                (lambda shard=shard, block=block: self._shard_task(
+                    shard, block, user_block, users, user_norms, factor * k,
+                    exclude_train))
+                for shard, block in zip(self.sharded.shards, self.blocks)
+            ]
+            results = self.sharded.executor.run(tasks)
         pooled_ids = np.concatenate([ids for ids, _, _ in results], axis=1)
         pooled_scores = np.concatenate(
             [scores for _, scores, _ in results], axis=1)

@@ -183,6 +183,42 @@ class UserItemIndex(_FlatPairOps):
         return index
 
     @classmethod
+    def from_csr_arrays(cls, num_users: int, num_items: int,
+                        indptr: np.ndarray,
+                        indices: np.ndarray) -> "UserItemIndex":
+        """Adopt prebuilt CSR arrays without copying or re-sorting.
+
+        The arrays must satisfy the construction invariants (monotone
+        ``indptr`` of length ``num_users + 1`` starting at 0 and ending at
+        ``len(indices)``; each user's items sorted ascending and unique) —
+        exactly what :func:`repro.engine.snapshot.load_snapshot` reads back
+        from disk, so a memory-mapped exclusion index is zero-copy: the
+        ``np.memmap`` sections *are* the index arrays.  Invariants are
+        validated cheaply (shape/monotonicity, not per-row sortedness — that
+        is the writer's contract, covered by the round-trip tests).
+        """
+        indptr = np.asanyarray(indptr)
+        indices = np.asanyarray(indices)
+        index = cls.__new__(cls)
+        index.num_users = int(num_users)
+        index.num_items = int(num_items)
+        if indptr.ndim != 1 or indptr.size != index.num_users + 1:
+            raise ValueError("indptr must have num_users + 1 entries")
+        if indptr[0] != 0 or indptr[-1] != indices.size:
+            raise ValueError("indptr must start at 0 and end at len(indices)")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be monotonically non-decreasing")
+        index.indptr = indptr
+        index.indices = indices
+        for array in (index.indptr, index.indices):
+            if array.flags.writeable:
+                array.setflags(write=False)
+        index._flat_keys = None
+        index._membership_table = None
+        index._membership_table_built = False
+        return index
+
+    @classmethod
     def from_split(cls, split, which: str = "train") -> "UserItemIndex":
         """Index over one partition of a :class:`repro.data.DataSplit`.
 
@@ -328,7 +364,7 @@ class InferenceIndex:
                  item_embeddings: Optional[np.ndarray] = None,
                  scorer=None,
                  exclusion: Optional[UserItemIndex] = None,
-                 dtype=np.float64) -> None:
+                 dtype=np.float64, copy: bool = True) -> None:
         if (user_embeddings is None) != (item_embeddings is None):
             raise ValueError("user and item embeddings must be provided together")
         if user_embeddings is None and scorer is None:
@@ -338,8 +374,23 @@ class InferenceIndex:
         self.dtype = np.dtype(dtype)
         self._scorer = scorer
         if user_embeddings is not None:
-            self.user_embeddings = np.array(user_embeddings, dtype=self.dtype, copy=True)
-            self.item_embeddings = np.array(item_embeddings, dtype=self.dtype, copy=True)
+            if copy:
+                self.user_embeddings = np.array(user_embeddings,
+                                                dtype=self.dtype, copy=True)
+                self.item_embeddings = np.array(item_embeddings,
+                                                dtype=self.dtype, copy=True)
+            else:
+                # Zero-copy adoption: the caller owns already-frozen matrices
+                # (typically read-only ``np.memmap`` sections of a serving
+                # snapshot) whose dtype must already match — copying here
+                # would defeat the point of mapping them.
+                self.user_embeddings = np.asanyarray(user_embeddings)
+                self.item_embeddings = np.asanyarray(item_embeddings)
+                if (self.user_embeddings.dtype != self.dtype
+                        or self.item_embeddings.dtype != self.dtype):
+                    raise ValueError(
+                        "copy=False adopts the embedding arrays as-is; their "
+                        "dtype must match the requested serving dtype")
             if self.user_embeddings.shape[0] != self.num_users:
                 raise ValueError("user embedding rows must equal num_users")
             if self.item_embeddings.shape[0] != self.num_items:

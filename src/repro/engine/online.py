@@ -46,12 +46,15 @@ rebuilt oracle.
 
 from __future__ import annotations
 
+import threading
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-from .index import UserItemIndex, _expand_slices, _FlatPairOps
+from .index import InferenceIndex, UserItemIndex, _expand_slices, _FlatPairOps
 from .service import RecommendationService
+from .snapshot import save_snapshot
 
 __all__ = [
     "NEW_USER_POLICIES",
@@ -333,6 +336,12 @@ class OnlineRecommendationService(RecommendationService):
     * :meth:`compact` — fold the delta into fresh frozen CSRs (bit-identical
       to a rebuild) and requantise the candidate backend; runs automatically
       once the delta reaches ``compact_threshold`` pairs.
+    * :meth:`publish_snapshot` — write the compacted frozen state as a
+      :mod:`repro.engine.snapshot` artifact (atomic ``os.replace`` publish,
+      so mapped readers only ever see complete files).  With
+      ``snapshot_path=…`` every compaction republishes in a background
+      thread — the heavy quantise-and-write work happens off the serving
+      path, and fresh snapshots ship without a stop-the-world refreeze.
 
     The wrapped snapshot machinery is reused as-is: sharded serving keeps its
     executor seam (each shard's local exclusion gets a sliced overlay), and
@@ -345,7 +354,8 @@ class OnlineRecommendationService(RecommendationService):
     def __init__(self, model=None, split=None, *,
                  compact_threshold: int = 100_000,
                  new_user_policy: str = "mean",
-                 max_user_growth: int = 1_000_000, **kwargs) -> None:
+                 max_user_growth: int = 1_000_000,
+                 snapshot_path=None, **kwargs) -> None:
         self.compact_threshold = int(compact_threshold)
         if self.compact_threshold < 1:
             raise ValueError("compact_threshold must be a positive integer")
@@ -354,6 +364,10 @@ class OnlineRecommendationService(RecommendationService):
                              f"options: {NEW_USER_POLICIES}")
         self.new_user_policy = new_user_policy
         self.max_user_growth = int(max_user_growth)
+        self.snapshot_path = Path(snapshot_path) if snapshot_path else None
+        self.publishes = 0
+        self._publisher: Optional[threading.Thread] = None
+        self._publish_error: Optional[BaseException] = None
         super().__init__(model, split, **kwargs)
         if self.index.exclusion is None:
             raise ValueError("online serving needs an exclusion index to fold "
@@ -487,13 +501,18 @@ class OnlineRecommendationService(RecommendationService):
             stats["compacted"] = True
         return stats
 
-    def compact(self) -> "OnlineRecommendationService":
+    def compact(self, *,
+                publish: Optional[bool] = None) -> "OnlineRecommendationService":
         """Fold every overlay's delta into a fresh frozen base CSR.
 
         Serving results are unchanged by construction (the invariant the
         property sweep pins), so no cache invalidation is needed; the
         candidate backend is rebuilt like a fresh service's would be (the
         heavyweight rebuild work belongs to compaction, never to ingest).
+
+        ``publish`` controls whether the compacted state is republished as an
+        on-disk snapshot in a background thread; the default republishes
+        exactly when the service was constructed with ``snapshot_path=…``.
         """
         self._overlay.compact()
         for overlay in self._shard_overlays:
@@ -510,7 +529,101 @@ class OnlineRecommendationService(RecommendationService):
                             "exact_fallback_users", "last_certificate"):
                 setattr(self._candidates, counter, getattr(previous, counter))
         self.compactions += 1
+        if publish is None:
+            publish = self.snapshot_path is not None
+        if publish:
+            self.publish_snapshot(background=True)
         return self
+
+    # ------------------------------------------------------------------ #
+    def _publish_target(self, path) -> Path:
+        if path is not None:
+            return Path(path)
+        if self.snapshot_path is not None:
+            return self.snapshot_path
+        if self._snapshot is not None:
+            return self._snapshot.path
+        raise ValueError("no snapshot path to publish to: pass path=… or "
+                         "construct the service with snapshot_path=…")
+
+    def publish_snapshot(self, path=None, *, candidate_modes=None,
+                         metadata=None, background: bool = False) -> Path:
+        """Write the compacted frozen serving state as a snapshot artifact.
+
+        Pending delta pairs are folded first (one frozen CSR per snapshot),
+        then the embeddings/norms/exclusion — and a quantised block per entry
+        of ``candidate_modes`` (default: the serving ``candidate_mode``, else
+        int8) — land in ``path`` via the atomic tmp-file + ``os.replace``
+        publish of :func:`repro.engine.snapshot.save_snapshot`: a worker
+        mapping the old file keeps its (unlinked) pages, a worker opening the
+        path sees the new complete snapshot, never a partial write.
+
+        With ``background=True`` the quantise-and-write work runs on a
+        daemon thread (at most one in flight; a new publish joins the
+        previous one).  The captured state is immune to later ingests —
+        embedding matrices are replaced, never mutated, and the compacted
+        base CSR is frozen — so the published file reflects this compaction
+        even if serving moves on meanwhile.  :meth:`wait_published` (also
+        called by :meth:`close`) joins the thread and re-raises its error.
+        """
+        target = self._publish_target(path)
+        if self.delta_size or self._overlay.num_users != self._overlay.base.num_users:
+            self.compact(publish=False)
+        if candidate_modes is None:
+            candidate_modes = ((self.candidate_mode,)
+                               if self.candidate_mode is not None else ("int8",))
+        # Capture the frozen state *now*: later ingests swap in new matrices
+        # and new base CSRs but never mutate these objects in place.
+        frozen = InferenceIndex(
+            self.index.num_users, self.index.num_items,
+            user_embeddings=self.index.user_embeddings,
+            item_embeddings=self.index.item_embeddings,
+            exclusion=self._overlay.base, dtype=self.index.dtype, copy=False)
+        frozen._item_norms = self.index.item_norms  # reuse the cached norms
+        stamp = {"compactions": self.compactions,
+                 "ingested_pairs": self.ingested_pairs,
+                 "new_users": self.new_users}
+        stamp.update(metadata or {})
+
+        def write() -> None:
+            save_snapshot(target, frozen, candidate_modes=candidate_modes,
+                          metadata=stamp)
+
+        if not background:
+            self.wait_published()
+            write()
+            self.publishes += 1
+            return target
+
+        self.wait_published()
+
+        def worker() -> None:
+            try:
+                write()
+                self.publishes += 1
+            except BaseException as error:  # surfaced by wait_published()
+                self._publish_error = error
+
+        self._publisher = threading.Thread(
+            target=worker, name="repro-snapshot-publisher", daemon=True)
+        self._publisher.start()
+        return target
+
+    def wait_published(self, timeout: Optional[float] = None) -> None:
+        """Join the in-flight background publish; re-raise its failure."""
+        publisher = self._publisher
+        if publisher is not None:
+            publisher.join(timeout)
+            if not publisher.is_alive():
+                self._publisher = None
+        error, self._publish_error = self._publish_error, None
+        if error is not None:
+            raise error
+
+    def close(self) -> None:
+        """Drain the background publisher, then release fan-out resources."""
+        self.wait_published()
+        super().close()
 
     # ------------------------------------------------------------------ #
     def refresh(self, model=None) -> "OnlineRecommendationService":
@@ -522,7 +635,32 @@ class OnlineRecommendationService(RecommendationService):
         the refreshed embeddings (the fallback is recomputed, matching what a
         fresh service built from the new model plus the same ingest history
         would serve).
+
+        A refresh with nothing ingested since the last compaction is a true
+        no-op when the embeddings are unchanged: caches stay warm, the
+        overlays and any adopted snapshot survive, nothing is recompacted.
         """
+        if self.delta_size == 0 and self._extra_users == 0:
+            # Nothing ingested since the last compaction: defer entirely to
+            # the base refresh, which keeps the whole warm stack (LRU cache,
+            # sharded slices, quantised blocks, an adopted snapshot) when the
+            # re-frozen embeddings are unchanged.  The overlay is unwrapped
+            # only for the comparison and restored on the no-op path, so a
+            # spurious refresh is observably free.
+            previous = self.index
+            self.index.exclusion = self._overlay.base
+            try:
+                super().refresh(model)
+            except BaseException:
+                self.index.exclusion = self._overlay
+                raise
+            if self.index is previous:
+                self.index.exclusion = self._overlay
+                return self
+            self._base_users = self.index.num_users
+            self._fallback_row_cache = None
+            self._wrap_overlays()
+            return self
         self._overlay.compact()
         for overlay in self._shard_overlays:
             overlay.compact()
@@ -549,6 +687,9 @@ class OnlineRecommendationService(RecommendationService):
             "compactions": self.compactions,
             "compact_threshold": self.compact_threshold,
             "new_user_policy": self.new_user_policy,
+            "snapshot_path": (str(self.snapshot_path)
+                              if self.snapshot_path else None),
+            "publishes": self.publishes,
         }
 
     def __repr__(self) -> str:

@@ -20,6 +20,14 @@ stage rescores and re-ranks them, and every batch carries a certificate
 saying whether the result provably equals exhaustive search.  The exact path
 stays the default (``candidate_mode=None``) and the correctness oracle;
 ``certificate_stats`` aggregates how often served batches were certified.
+
+With ``snapshot=…`` the frozen state is not rebuilt at all: the service
+adopts the memory-mapped sections of a :mod:`repro.engine.snapshot` artifact
+(embeddings, norms, exclusion CSR, quantised blocks) zero-copy, so opening a
+service is O(open) regardless of catalogue size, and ``executor="process"``
+fans sharded requests out to worker processes that re-open the same file
+instead of receiving pickled matrices.  Serving from a snapshot is
+bit-identical to serving from the index it was saved from.
 """
 
 from __future__ import annotations
@@ -31,9 +39,15 @@ import numpy as np
 
 from .candidates import CandidateIndex, ShardedCandidateIndex
 from .index import InferenceIndex, UserItemIndex
-from .sharding import SerialExecutor, ShardedInferenceIndex, ThreadedExecutor
+from .sharding import (ProcessExecutor, SerialExecutor, ShardedInferenceIndex,
+                       ThreadedExecutor)
+from .snapshot import ServingSnapshot, load_snapshot
 
-__all__ = ["RecommendationService"]
+__all__ = ["EXECUTOR_NAMES", "RecommendationService"]
+
+#: Executor spellings accepted by ``RecommendationService(executor=…)`` and
+#: the CLI's ``--executor`` flag.
+EXECUTOR_NAMES = ("serial", "threads", "process")
 
 
 class RecommendationService:
@@ -43,9 +57,16 @@ class RecommendationService:
     ----------
     model:
         Any scorer accepted by :meth:`InferenceIndex.from_model`.  Ignored
-        when a prebuilt ``index`` is given.
+        when a prebuilt ``index`` or a ``snapshot`` is given.
     split:
         Split providing the exclusion index; defaults to ``model.split``.
+    snapshot:
+        A :class:`repro.engine.snapshot.ServingSnapshot` (or a path to one)
+        to serve from instead of freezing a model: embeddings, item norms,
+        exclusion CSR and quantised candidate blocks are adopted zero-copy
+        from the (memory-mapped) snapshot sections, so construction is
+        O(open) instead of O(freeze).  The snapshot's dtype wins over
+        ``dtype``.  Mutually exclusive with ``index``.
     dtype:
         Serving dtype (``float32`` halves the embedding snapshot's memory).
     batch_size:
@@ -62,8 +83,14 @@ class RecommendationService:
         Fan shard requests out over a thread pool instead of serially.
         Only meaningful with ``num_shards > 1``.
     executor:
-        Explicit fan-out executor (overrides ``parallel``); any object with
-        ``run(tasks) -> results`` and ``close()``.
+        Explicit fan-out executor (overrides ``parallel``): any object with
+        ``run(tasks) -> results`` and ``close()``, or one of the
+        ``EXECUTOR_NAMES`` strings — ``"serial"``, ``"threads"``, or
+        ``"process"`` (multi-process fan-out; requires ``snapshot=…`` because
+        worker processes re-open the snapshot file instead of receiving
+        pickled matrices).  The service owns the executor it resolves from a
+        string or builds from ``parallel`` and shuts it down in
+        :meth:`close` / ``with`` exit.
     candidate_mode:
         ``None`` (default) serves exact top-K.  ``"int8"`` / ``"float32"``
         switch top-K to the two-stage quantised-candidates + exact-rescoring
@@ -84,6 +111,7 @@ class RecommendationService:
 
     def __init__(self, model=None, split=None, *,
                  index: Optional[InferenceIndex] = None,
+                 snapshot=None,
                  dtype=np.float64, batch_size: int = 1024,
                  cache_size: int = 4096, num_shards: int = 1,
                  shard_policy: str = "contiguous", parallel: bool = False,
@@ -91,9 +119,19 @@ class RecommendationService:
                  candidate_factor: int = 4,
                  candidate_escalation: bool = False,
                  max_candidate_factor: int = 32) -> None:
+        self._snapshot: Optional[ServingSnapshot] = None
+        if snapshot is not None:
+            if index is not None:
+                raise ValueError("provide either snapshot or index, not both")
+            if not isinstance(snapshot, ServingSnapshot):
+                snapshot = load_snapshot(snapshot)
+            self._snapshot = snapshot
+            index = snapshot.inference_index()
+            dtype = snapshot.dtype
         if index is None:
             if model is None:
-                raise ValueError("provide a model or a prebuilt InferenceIndex")
+                raise ValueError("provide a model, a prebuilt InferenceIndex "
+                                 "or a serving snapshot")
             index = InferenceIndex.from_model(model, split, dtype=dtype)
         self.index = index
         self.batch_size = int(batch_size)
@@ -115,6 +153,8 @@ class RecommendationService:
         if (candidate_mode is not None
                 and self.max_candidate_factor < self.candidate_factor):
             raise ValueError("max_candidate_factor must be >= candidate_factor")
+        if isinstance(executor, str):
+            executor = self._resolve_executor(executor)
         self._executor = executor if executor is not None else (
             ThreadedExecutor() if parallel else SerialExecutor())
         self._model = model
@@ -130,6 +170,23 @@ class RecommendationService:
         self.cache_hits = 0
         self.cache_misses = 0
 
+    def _resolve_executor(self, name: str):
+        """An owned executor instance for one of the ``EXECUTOR_NAMES``."""
+        if name == "serial":
+            return SerialExecutor()
+        if name == "threads":
+            return ThreadedExecutor()
+        if name == "process":
+            if self._snapshot is None:
+                raise ValueError(
+                    "executor='process' ships (snapshot path, shard id, user "
+                    "batch) payloads to worker processes and requires "
+                    "snapshot=…")
+            return ProcessExecutor(self._snapshot.path, self.num_shards,
+                                   policy=self.shard_policy)
+        raise ValueError(f"unknown executor {name!r}; "
+                         f"options: {EXECUTOR_NAMES}")
+
     def _build_candidates(self):
         """The two-stage backend for the current snapshot (or ``None``)."""
         if self.candidate_mode is None:
@@ -137,8 +194,20 @@ class RecommendationService:
                 raise ValueError("candidate_factor must be a positive integer")
             return None
         if self._sharded is not None:
+            if self._snapshot is not None:
+                # Slice the stored whole-catalogue block instead of
+                # requantising — bit-identical, O(view) for contiguous shards.
+                return ShardedCandidateIndex(
+                    self._sharded, self.candidate_mode, self.candidate_factor,
+                    blocks=self._snapshot.shard_blocks(
+                        self.candidate_mode, self.num_shards,
+                        self.shard_policy))
             return ShardedCandidateIndex(self._sharded, self.candidate_mode,
                                          self.candidate_factor)
+        if self._snapshot is not None:
+            return CandidateIndex(
+                self.index, self.candidate_mode, self.candidate_factor,
+                block=self._snapshot.quantized_block(self.candidate_mode))
         return CandidateIndex(self.index, self.candidate_mode,
                               self.candidate_factor)
 
@@ -159,6 +228,11 @@ class RecommendationService:
     def sharded(self) -> Optional[ShardedInferenceIndex]:
         """The sharded backend, or ``None`` on the single-matrix path."""
         return self._sharded
+
+    @property
+    def snapshot(self) -> Optional[ServingSnapshot]:
+        """The snapshot this service was opened from, or ``None``."""
+        return self._snapshot
 
     @property
     def candidates(self):
@@ -214,6 +288,9 @@ class RecommendationService:
             # quantised blocks, the LRU cache and the certificate counters.
             return self
         self.index = fresh
+        # A refresh from a model supersedes the on-disk snapshot: its stored
+        # blocks no longer match the serving embeddings, so stop adopting it.
+        self._snapshot = None
         if self.num_shards > 1:
             # Re-shard the fresh snapshot; the executor (and its thread pool)
             # carries over so refresh never leaks worker threads.
@@ -314,8 +391,18 @@ class RecommendationService:
         return self._backend.score_pairs(users, items)
 
     def close(self) -> None:
-        """Release fan-out resources (the threaded executor's pool)."""
+        """Release fan-out resources (the executor's thread/process pool).
+
+        Idempotent; the service keeps serving on the single-matrix path
+        afterwards but must not fan out again.
+        """
         self._executor.close()
+
+    def __enter__(self) -> "RecommendationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __repr__(self) -> str:
         backend = (f", shards={self.num_shards}({self.shard_policy}), "

@@ -39,7 +39,8 @@ approaches the catalogue size.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -52,6 +53,7 @@ __all__ = [
     "ShardedInferenceIndex",
     "SerialExecutor",
     "ThreadedExecutor",
+    "ProcessExecutor",
 ]
 
 PARTITION_POLICIES = ("contiguous", "strided")
@@ -80,7 +82,34 @@ def partition_items(num_items: int, num_shards: int,
                      f"options: {PARTITION_POLICIES}")
 
 
-class SerialExecutor:
+class _ExecutorBase:
+    """Shared executor plumbing: context management + worker validation.
+
+    Every executor is context-manageable (``with ThreadedExecutor() as ex:``)
+    and idempotently closeable, so pools are released deterministically
+    instead of lingering until interpreter shutdown.
+    """
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release any worker pool (idempotent; a no-op by default)."""
+
+    @staticmethod
+    def _validate_max_workers(max_workers: Optional[int]) -> Optional[int]:
+        if max_workers is None:
+            return None
+        max_workers = int(max_workers)
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        return max_workers
+
+
+class SerialExecutor(_ExecutorBase):
     """Run shard tasks inline, in shard order (the dependency-free default)."""
 
     parallel = False
@@ -88,14 +117,11 @@ class SerialExecutor:
     def run(self, tasks: Sequence) -> list:
         return [task() for task in tasks]
 
-    def close(self) -> None:
-        """Nothing to release."""
-
     def __repr__(self) -> str:
         return "SerialExecutor()"
 
 
-class ThreadedExecutor:
+class ThreadedExecutor(_ExecutorBase):
     """Fan shard tasks out over a lazily created thread pool.
 
     Shard scoring is NumPy/BLAS-bound and releases the GIL, so threads give
@@ -107,7 +133,7 @@ class ThreadedExecutor:
     parallel = True
 
     def __init__(self, max_workers: Optional[int] = None) -> None:
-        self.max_workers = max_workers
+        self.max_workers = self._validate_max_workers(max_workers)
         self._pool: Optional[ThreadPoolExecutor] = None
 
     def run(self, tasks: Sequence) -> list:
@@ -125,6 +151,92 @@ class ThreadedExecutor:
 
     def __repr__(self) -> str:
         return f"ThreadedExecutor(max_workers={self.max_workers})"
+
+
+class ProcessExecutor(_ExecutorBase):
+    """Fan shard tasks out to worker *processes* over an mmap'd snapshot.
+
+    Threads share the in-process matrices; processes cannot — so instead of
+    pickling embedding slices per task, every worker opens the shard's
+    sections of one on-disk snapshot (:mod:`repro.engine.snapshot`) by
+    offset, zero-copy, and caches them for the life of the process.  A task
+    ships only ``(snapshot_path, shard geometry, shard_id, user batch)`` and
+    returns one small per-shard candidate array, so steady-state IPC is
+    O(batch x k) — never O(items x dim).
+
+    The executor is bound to one snapshot + shard geometry at construction;
+    :class:`ShardedInferenceIndex` / :class:`ShardedCandidateIndex` built
+    over the *same* snapshot detect ``ships_payloads`` and describe their
+    shard tasks instead of closing over matrices, keeping the certified
+    merge (and hence bit-exactness) in the router.  Mismatched geometry is
+    rejected at bind time.
+
+    The same snapshot file is the worker's entire world, which is exactly
+    the multi-host shape: replace the process pool with a socket to a shard
+    server holding the same file and nothing else changes.
+    """
+
+    parallel = True
+    ships_payloads = True
+
+    def __init__(self, snapshot_path, num_shards: int, *,
+                 policy: str = "contiguous",
+                 max_workers: Optional[int] = None) -> None:
+        self.snapshot_path = str(snapshot_path)
+        self.num_shards = int(num_shards)
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if policy not in PARTITION_POLICIES:
+            raise ValueError(f"unknown partition policy {policy!r}; "
+                             f"options: {PARTITION_POLICIES}")
+        self.policy = policy
+        self.max_workers = self._validate_max_workers(max_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def bind_check(self, num_shards: int, policy: str) -> None:
+        """Reject binding to an index whose geometry the workers don't hold."""
+        if num_shards != self.num_shards or policy != self.policy:
+            raise ValueError(
+                f"ProcessExecutor is bound to {self.num_shards} "
+                f"{self.policy!r} shards of {self.snapshot_path}; cannot "
+                f"serve {num_shards} {policy!r} shards")
+
+    def run(self, tasks: Sequence) -> list:
+        raise TypeError(
+            "ProcessExecutor ships picklable shard payloads, not in-process "
+            "closures; use it through a ShardedInferenceIndex built over the "
+            "same snapshot")
+
+    def fan_out(self, kind: str, *request) -> list:
+        """Run one payload per shard; results come back in shard order."""
+        payloads = [
+            (kind, self.snapshot_path, self.num_shards, self.policy, shard_id)
+            + request
+            for shard_id in range(self.num_shards)
+        ]
+        from .snapshot import _execute_shard_payload
+
+        if self.num_shards == 1:
+            # One shard gains nothing from IPC; run it inline (the worker
+            # cache makes repeated calls cheap).
+            return [_execute_shard_payload(payloads[0])]
+        if self._pool is None:
+            workers = self.max_workers or min(self.num_shards,
+                                              os.cpu_count() or 1)
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        futures = [self._pool.submit(_execute_shard_payload, payload)
+                   for payload in payloads]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (f"ProcessExecutor(snapshot={self.snapshot_path!r}, "
+                f"shards={self.num_shards}, policy={self.policy!r}, "
+                f"max_workers={self.max_workers})")
 
 
 class ItemShard:
@@ -279,6 +391,11 @@ class ShardedInferenceIndex:
         self.exclusion = exclusion
         self.executor = executor if executor is not None else SerialExecutor()
         self.policy = policy
+        if getattr(self.executor, "ships_payloads", False):
+            # Payload executors (multi-process fan-out) hold their own copy
+            # of the shard geometry; a mismatch would merge candidates from
+            # a different partition.
+            self.executor.bind_check(len(self.shards), policy)
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -391,13 +508,19 @@ class ShardedInferenceIndex:
         if exclude_train and self.exclusion is None:
             raise ValueError("no exclusion index attached to this "
                              "ShardedInferenceIndex")
-        user_block = self.user_embeddings[users]
-        tasks = [
-            (lambda shard=shard: shard.local_top_k(
-                user_block, users, k, exclude_train))
-            for shard in self.shards
-        ]
-        results = self.executor.run(tasks)
+        if getattr(self.executor, "ships_payloads", False):
+            # Multi-process fan-out: ship (users, k) descriptions; each
+            # worker gathers the user block from its own mapped snapshot.
+            results = self.executor.fan_out("top_k", users, int(k),
+                                            bool(exclude_train))
+        else:
+            user_block = self.user_embeddings[users]
+            tasks = [
+                (lambda shard=shard: shard.local_top_k(
+                    user_block, users, k, exclude_train))
+                for shard in self.shards
+            ]
+            results = self.executor.run(tasks)
         candidate_ids = np.concatenate([ids for ids, _ in results], axis=1)
         candidate_scores = np.concatenate(
             [scores for _, scores in results], axis=1)

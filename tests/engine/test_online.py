@@ -247,6 +247,33 @@ class TestOnlineService:
         assert service.overlay.contains(np.asarray([0]), np.asarray([9]))[0]
         assert 9 not in service.recommend(0, k=tiny_split.num_items - 1)
 
+    def test_spurious_refresh_is_a_true_noop(self, model):
+        # Nothing ingested, embeddings unchanged: refresh must keep the whole
+        # warm stack — overlay object, caches, counters — untouched.
+        service = OnlineRecommendationService(model, candidate_mode="int8")
+        before = service.recommend(0, k=5)
+        index_before = service.index
+        overlay_before = service.overlay
+        candidates_before = service.candidates
+        assert service.refresh() is service
+        assert service.index is index_before
+        assert service.overlay is overlay_before
+        assert service.index.exclusion is overlay_before  # rewrapped
+        assert service.candidates is candidates_before
+        assert service.recommend(0, k=5) == before
+        assert service.cache_hits >= 1  # LRU survived the refresh
+
+    def test_noop_refresh_error_restores_overlay(self, model, tiny_split):
+        # Built from a prebuilt index there is no model to re-freeze from;
+        # the failed refresh must leave the overlay wrapped back in place.
+        index = InferenceIndex.from_model(model, tiny_split)
+        service = OnlineRecommendationService(index=index)
+        overlay = service.overlay
+        with pytest.raises(ValueError, match="no model"):
+            service.refresh()
+        assert service.index.exclusion is overlay
+        assert service.overlay is overlay
+
     def test_online_stats_counters(self, model):
         service = OnlineRecommendationService(model, compact_threshold=100)
         service.ingest(np.asarray([0, 1]), np.asarray([3, 4]))

@@ -1,0 +1,95 @@
+"""Property sweep: snapshot round-trips preserve serving bit-for-bit.
+
+Randomized grid over catalogue sizes x dtypes: every index drawn here is
+saved to disk, re-opened both ways (``mmap=True`` zero-copy views and
+``mmap=False`` owning arrays), and must then serve bit-identically to the
+in-memory original across shard counts and candidate modes.  The invariant
+is the snapshot subsystem's exactness contract: persistence is a pure
+serialisation concern — it never changes a single served id.
+
+A second property covers the raw sections: what comes back from the file
+equals what went in, byte for byte, including the CSR exclusion arrays and
+the stored quantised block (saved codes == requantised codes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    InferenceIndex,
+    RecommendationService,
+    UserItemIndex,
+    load_snapshot,
+    quantize_item_matrix,
+    save_snapshot,
+)
+
+SIZES = ((18, 30, 6), (40, 25, 10), (9, 120, 4))  # (users, items, dim)
+SHARD_COUNTS = (1, 4)
+MODES = (None, "int8")
+DTYPES = (np.float64, np.float32)
+K = 6
+
+
+def _random_index(rng, num_users, num_items, dim, dtype):
+    nnz = int(rng.integers(num_users, 4 * num_users))
+    exclusion = UserItemIndex(num_users, num_items,
+                              rng.integers(0, num_users, nnz),
+                              rng.integers(0, num_items, nnz))
+    return InferenceIndex(
+        num_users, num_items,
+        user_embeddings=rng.normal(size=(num_users, dim)),
+        item_embeddings=rng.normal(size=(num_items, dim)),
+        exclusion=exclusion, dtype=dtype)
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_snapshot_serving_is_bit_identical(tmp_path, seed, size, dtype):
+    rng = np.random.default_rng(seed)
+    index = _random_index(rng, *size, dtype)
+    path = save_snapshot(tmp_path / "prop.snap", index)
+    users = np.arange(index.num_users)
+    for num_shards in SHARD_COUNTS:
+        for mode in MODES:
+            with RecommendationService(
+                    index=index, num_shards=num_shards,
+                    candidate_mode=mode) as oracle_service:
+                oracle = oracle_service.top_k(users, K)
+            for mmap in (True, False):
+                with RecommendationService(
+                        snapshot=load_snapshot(path, mmap=mmap),
+                        num_shards=num_shards, candidate_mode=mode) as svc:
+                    got = svc.top_k(users, K)
+                np.testing.assert_array_equal(
+                    got, oracle,
+                    err_msg=f"S={num_shards} mode={mode} mmap={mmap} "
+                            f"size={size} dtype={np.dtype(dtype).name}")
+
+
+@pytest.mark.parametrize("seed", range(5))
+@pytest.mark.parametrize("dtype", DTYPES)
+def test_sections_round_trip_byte_exact(tmp_path, seed, dtype):
+    rng = np.random.default_rng(100 + seed)
+    size = SIZES[seed % len(SIZES)]
+    index = _random_index(rng, *size, dtype)
+    path = save_snapshot(tmp_path / "prop.snap", index,
+                         candidate_modes=("int8",))
+    for mmap in (True, False):
+        snapshot = load_snapshot(path, mmap=mmap)
+        np.testing.assert_array_equal(snapshot.section("user_embeddings"),
+                                      index.user_embeddings)
+        np.testing.assert_array_equal(snapshot.section("item_embeddings"),
+                                      index.item_embeddings)
+        np.testing.assert_array_equal(snapshot.section("item_norms"),
+                                      index.item_norms)
+        excl = snapshot.exclusion()
+        np.testing.assert_array_equal(excl.indptr, index.exclusion.indptr)
+        np.testing.assert_array_equal(excl.indices, index.exclusion.indices)
+        stored = snapshot.quantized_block("int8")
+        fresh = quantize_item_matrix(index.item_embeddings, "int8",
+                                     item_norms=index.item_norms)
+        np.testing.assert_array_equal(stored.codes, fresh.codes)
+        np.testing.assert_array_equal(stored.scales, fresh.scales)
+        np.testing.assert_array_equal(stored.bound_norms, fresh.bound_norms)

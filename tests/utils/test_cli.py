@@ -328,3 +328,95 @@ class TestOnlineRecommend:
         path.write_text("\nuser,item\n0,3\n1,5\n")
         payload = self._payload(capsys, ["--ingest", str(path)])
         assert payload["ingest"]["events"] == 2
+
+
+class TestSnapshotCommand:
+    SAVE = ["snapshot", "save", "--model", "bpr", "--dataset", "tiny",
+            "--epochs", "0", "--embedding-dim", "8"]
+
+    def _save(self, capsys, tmp_path, extra=()):
+        path = tmp_path / "tiny.snap"
+        assert main(self.SAVE + [str(path), "--json"] + list(extra)) == 0
+        payload = json.loads(capsys.readouterr().out)
+        return path, payload
+
+    def test_save_writes_a_loadable_snapshot(self, capsys, tmp_path):
+        path, payload = self._save(capsys, tmp_path)
+        assert path.exists()
+        assert payload["snapshot"] == str(path)
+        assert payload["users"] > 0 and payload["items"] > 0
+        assert payload["candidate_modes"] == ["int8"]
+
+    def test_save_without_candidate_blocks(self, capsys, tmp_path):
+        _, payload = self._save(capsys, tmp_path,
+                                ["--candidate-modes", "none"])
+        assert payload["candidate_modes"] == []
+
+    def test_inspect_prints_layout(self, capsys, tmp_path):
+        path, _ = self._save(capsys, tmp_path)
+        assert main(["snapshot", "inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "user_embeddings" in out and "exclusion_indptr" in out
+
+    def test_inspect_rejects_garbage(self, tmp_path):
+        noise = tmp_path / "noise.snap"
+        noise.write_bytes(b"not a snapshot at all, just filler bytes here")
+        with pytest.raises(SystemExit, match="not a repro serving"):
+            main(["snapshot", "inspect", str(noise)])
+
+    def test_snapshot_requires_subcommand(self):
+        with pytest.raises(SystemExit, match="save or inspect"):
+            main(["snapshot"])
+
+    def test_recommend_from_snapshot_matches_in_memory(self, capsys, tmp_path):
+        path, _ = self._save(capsys, tmp_path)
+        base = ["recommend", "--model", "bpr", "--dataset", "tiny",
+                "--epochs", "0", "--embedding-dim", "8",
+                "--users", "0,2", "-k", "4", "--json"]
+        assert main(base) == 0
+        in_memory = json.loads(capsys.readouterr().out)
+        for extra in ([], ["--shards", "2"],
+                      ["--shards", "2", "--executor", "process"],
+                      ["--candidates", "int8"]):
+            argv = ["recommend", "--snapshot", str(path), "--users", "0,2",
+                    "-k", "4", "--json"] + extra
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["recommendations"] == in_memory["recommendations"]
+            assert payload["snapshot"] == str(path)
+            assert payload["model"] is None
+
+    def test_recommend_snapshot_composes_with_ingest(self, capsys, tmp_path):
+        path, _ = self._save(capsys, tmp_path)
+        events = tmp_path / "events.csv"
+        events.write_text("user,item\n0,3\n")
+        argv = ["recommend", "--snapshot", str(path), "--users", "0",
+                "-k", "4", "--json", "--ingest", str(events)]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 3 not in payload["recommendations"]["0"]
+
+    def test_recommend_rejects_bad_snapshot_combinations(self, tmp_path):
+        missing = str(tmp_path / "missing.snap")
+        with pytest.raises(SystemExit, match="snapshot"):
+            main(["recommend", "--snapshot", missing, "--users", "0"])
+        with pytest.raises(SystemExit, match="requires --snapshot"):
+            main(["recommend", "--model", "bpr", "--dataset", "tiny",
+                  "--epochs", "0", "--users", "0", "--shards", "2",
+                  "--executor", "process"])
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(["recommend", "--snapshot", missing, "--users", "0",
+                  "--checkpoint", "weights.npz"])
+        with pytest.raises(SystemExit, match="parallel"):
+            main(["recommend", "--model", "bpr", "--dataset", "tiny",
+                  "--epochs", "0", "--users", "0", "--shards", "2",
+                  "--parallel", "--executor", "threads"])
+
+    def test_help_documents_snapshot_flags(self):
+        import argparse
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        recommend_help = subparsers.choices["recommend"].format_help()
+        assert "--snapshot" in recommend_help and "--executor" in recommend_help
+        assert "snapshot" in parser.format_help()
