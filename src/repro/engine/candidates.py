@@ -252,7 +252,9 @@ def _two_stage_block(user_block: np.ndarray, users: np.ndarray,
                      user_norms: np.ndarray, num_candidates: int,
                      block: QuantizedItemBlock,
                      exclusion: Optional[UserItemIndex], exclude_train: bool,
-                     rescore) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                     rescore,
+                     extra_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """One two-stage pass over one quantised block (the whole catalogue or
     one shard).
 
@@ -267,6 +269,9 @@ def _two_stage_block(user_block: np.ndarray, users: np.ndarray,
     pooled set is *pruned* and hence dominated by a threshold.
     ``user_norms`` are the (precomputed, float64) L2 norms of ``user_block``;
     ``rescore`` maps a ``(batch, m)`` local-id matrix to exact scores.
+    ``extra_pairs`` is an optional ``(batch row, local item)`` pair set
+    masked on top of ``exclusion`` — exclusion pairs a payload worker's
+    frozen snapshot does not hold (an online overlay's ingested delta).
     """
     batch = users.size
     num_items = block.num_items
@@ -280,8 +285,12 @@ def _two_stage_block(user_block: np.ndarray, users: np.ndarray,
     # on the exact embedding) and is tighter for coarsely quantised items.
     np.minimum(bounds, user_norms[:, None] * block.item_norms[None, :],
                out=bounds)
-    if exclude_train and exclusion is not None:
-        exclusion.mask(bounds, users)
+    if exclude_train:
+        if exclusion is not None:
+            exclusion.mask(bounds, users)
+        if extra_pairs is not None:
+            rows, cols = extra_pairs
+            bounds[rows, cols] = -np.inf
     m = min(int(num_candidates), num_items)
     if m < num_items:
         # ONE argpartition yields both the m candidates (unordered — stage 2
@@ -632,9 +641,13 @@ class ShardedCandidateIndex(_CertifiedTopK):
             # Multi-process fan-out: workers run _two_stage_block over their
             # own mapped snapshot sections and return the exactly-rescored
             # candidates; the certified merge stays here in the router.
+            # Router state the snapshot file does not hold (grown user rows,
+            # ingested exclusion pairs) is shipped alongside.
+            override_block, extra = self.sharded._payload_state(
+                users, exclude_train)
             results = self.sharded.executor.fan_out(
                 "candidates", users, factor * k, self.mode,
-                bool(exclude_train))
+                bool(exclude_train), override_block, extra)
         else:
             tasks = [
                 (lambda shard=shard, block=block: self._shard_task(

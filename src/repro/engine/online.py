@@ -621,9 +621,16 @@ class OnlineRecommendationService(RecommendationService):
             raise error
 
     def close(self) -> None:
-        """Drain the background publisher, then release fan-out resources."""
-        self.wait_published()
-        super().close()
+        """Drain the background publisher, then release fan-out resources.
+
+        A background publish failure is re-raised, but only after the
+        executor's worker pool is released — close() must never leak
+        processes or threads on the error path.
+        """
+        try:
+            self.wait_published()
+        finally:
+            super().close()
 
     # ------------------------------------------------------------------ #
     def refresh(self, model=None) -> "OnlineRecommendationService":
@@ -670,7 +677,15 @@ class OnlineRecommendationService(RecommendationService):
         extra = self._extra_users
         self._extra_users = 0
         self._fallback_row_cache = None
-        super().refresh(model)
+        try:
+            super().refresh(model)
+        except BaseException:
+            # E.g. a process executor rejecting re-frozen embeddings: restore
+            # the overlay wiring (compaction above is serving-invariant) so
+            # the service keeps serving its pre-refresh state.
+            self.index.exclusion = self._overlay
+            self._extra_users = extra
+            raise
         self._base_users = self.index.num_users
         self._wrap_overlays()
         if extra:

@@ -287,6 +287,15 @@ class RecommendationService:
             # identical results, so keep everything — the sharded slices, the
             # quantised blocks, the LRU cache and the certificate counters.
             return self
+        if getattr(self._executor, "ships_payloads", False):
+            # Payload workers rebuild from the on-disk snapshot, which still
+            # holds the superseded embeddings; carrying the executor over
+            # would silently fan requests out to stale matrices.
+            raise ValueError(
+                "refresh() cannot serve re-frozen embeddings through a "
+                "process executor: its workers map the superseded snapshot "
+                "file. Publish a new snapshot and build a fresh service, or "
+                "serve with an in-process executor.")
         self.index = fresh
         # A refresh from a model supersedes the on-disk snapshot: its stored
         # blocks no longer match the serving embeddings, so stop adopting it.

@@ -169,7 +169,11 @@ class ProcessExecutor(_ExecutorBase):
     over the *same* snapshot detect ``ships_payloads`` and describe their
     shard tasks instead of closing over matrices, keeping the certified
     merge (and hence bit-exactness) in the router.  Mismatched geometry is
-    rejected at bind time.
+    rejected at bind time.  Router state that has diverged from the frozen
+    file — a rebound (grown) user matrix, exclusion pairs ingested into an
+    online overlay — rides along with each task
+    (:meth:`ShardedInferenceIndex._payload_state`), so online serving over a
+    process executor stays bit-identical to the in-process path.
 
     The same snapshot file is the worker's entire world, which is exactly
     the multi-host shape: replace the process pool with a socket to a shard
@@ -328,15 +332,29 @@ class ItemShard:
 
     # ------------------------------------------------------------------ #
     def local_scores(self, user_block: np.ndarray, users: np.ndarray,
-                     exclude_train: bool) -> np.ndarray:
-        """Dense ``(len(users), num_local_items)`` block, train items masked."""
+                     exclude_train: bool,
+                     extra_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                     ) -> np.ndarray:
+        """Dense ``(len(users), num_local_items)`` block, train items masked.
+
+        ``extra_pairs`` is an optional ``(batch row, local column)`` pair set
+        masked on top of the shard's own exclusion — how a payload worker
+        applies exclusion pairs the frozen snapshot does not hold (an online
+        overlay's ingested delta).
+        """
         scores = user_block @ self.item_embeddings.T
-        if exclude_train and self.exclusion is not None:
-            self.exclusion.mask(scores, users)
+        if exclude_train:
+            if self.exclusion is not None:
+                self.exclusion.mask(scores, users)
+            if extra_pairs is not None:
+                rows, cols = extra_pairs
+                scores[rows, cols] = -np.inf
         return scores
 
     def local_top_k(self, user_block: np.ndarray, users: np.ndarray, k: int,
-                    exclude_train: bool) -> Tuple[np.ndarray, np.ndarray]:
+                    exclude_train: bool,
+                    extra_pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None
+                    ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-user top ``min(k, num_local_items)`` candidates of this shard.
 
         Returns ``(global item ids, scores)``, both ``(len(users), k_local)``
@@ -347,7 +365,8 @@ class ItemShard:
         if self.num_local_items == 0:
             return (np.empty((users.size, 0), dtype=np.int64),
                     np.empty((users.size, 0), dtype=user_block.dtype))
-        scores = self.local_scores(user_block, users, exclude_train)
+        scores = self.local_scores(user_block, users, exclude_train,
+                                   extra_pairs=extra_pairs)
         local = top_k_indices(scores, min(int(k), self.num_local_items))
         return (self.item_ids[local],
                 np.take_along_axis(scores, local, axis=1))
@@ -396,6 +415,12 @@ class ShardedInferenceIndex:
             # of the shard geometry; a mismatch would merge candidates from
             # a different partition.
             self.executor.bind_check(len(self.shards), policy)
+        # Bind-time references to the state payload workers rebuild from the
+        # snapshot file.  Later router-side swaps (a rebound user matrix for
+        # grown users, an online exclusion overlay) are detected against
+        # these and shipped alongside every payload task.
+        self._baseline_users = self.user_embeddings
+        self._baseline_exclusion = self.exclusion
 
     # ------------------------------------------------------------------ #
     @classmethod
@@ -490,6 +515,60 @@ class ShardedInferenceIndex:
         self.num_users = int(user_embeddings.shape[0])
 
     # ------------------------------------------------------------------ #
+    def _payload_state(self, users: np.ndarray, exclude_train: bool) -> tuple:
+        """Router-vs-snapshot divergence to ship with payload tasks.
+
+        Payload workers rebuild their shard state from the frozen snapshot
+        file, so anything the router changed since binding must ride along
+        or the workers silently serve stale state: a rebound user matrix
+        (online serving appends fallback rows for grown user ids the
+        snapshot has no row for — workers would raise ``IndexError``) and
+        exclusion pairs the file does not hold (an overlay's ingested
+        delta, or a compacted base CSR superseding the stored one —
+        workers would recommend freshly consumed items back).
+
+        Returns ``(user_block, extra_pairs)``: the gathered user rows when
+        the router's matrix is no longer the bind-time one (else ``None``),
+        and the ``(batch row, global item)`` exclusion pairs missing from
+        the snapshot (else ``None``).
+        """
+        user_block = None
+        if self.user_embeddings is not self._baseline_users:
+            user_block = np.ascontiguousarray(self.user_embeddings[users])
+        extra = self._extra_exclusion_pairs(users) if exclude_train else None
+        return user_block, extra
+
+    def _extra_exclusion_pairs(self, users: np.ndarray) -> Optional[tuple]:
+        """The batch's exclusion pairs absent from the bind-time exclusion."""
+        current = self.exclusion
+        baseline = self._baseline_exclusion
+        if current is None or current is baseline:
+            return None
+        base = getattr(current, "base", None)
+        delta = getattr(current, "delta", None)
+        if base is baseline and delta is not None:
+            # An online overlay sitting directly on the snapshot's CSR: the
+            # delta IS the divergence (it is kept disjoint from the base).
+            if not delta.nnz:
+                return None
+            rows, items = delta.pairs_for(users)
+        else:
+            # General case — e.g. a compacted overlay whose merged base
+            # superseded the snapshot CSR: diff the users' accumulated pairs
+            # against the bind-time baseline.
+            rows, items = current.flat_pairs(users)
+            if baseline is not None and rows.size:
+                pair_users = users[rows]
+                novel = np.ones(rows.size, dtype=bool)
+                known = pair_users < baseline.num_users
+                if known.any():
+                    novel[known] = ~baseline.contains(pair_users[known],
+                                                      items[known])
+                rows, items = rows[novel], items[novel]
+        if not rows.size:
+            return None
+        return rows, items
+
     def top_k(self, users: Sequence[int], k: int,
               exclude_train: bool = True) -> np.ndarray:
         """Top-``k`` item ids per user, best first — fan out, merge exactly.
@@ -511,8 +590,12 @@ class ShardedInferenceIndex:
         if getattr(self.executor, "ships_payloads", False):
             # Multi-process fan-out: ship (users, k) descriptions; each
             # worker gathers the user block from its own mapped snapshot.
+            # State the snapshot file does not hold (grown user rows,
+            # ingested exclusion pairs) is shipped alongside.
+            user_block, extra = self._payload_state(users, exclude_train)
             results = self.executor.fan_out("top_k", users, int(k),
-                                            bool(exclude_train))
+                                            bool(exclude_train), user_block,
+                                            extra)
         else:
             user_block = self.user_embeddings[users]
             tasks = [

@@ -50,7 +50,9 @@ metadata; a magic/version/checksum/size mismatch raises
 Worker-side helpers for multi-process fan-out live at the bottom:
 :func:`_execute_shard_payload` opens (and caches) exactly one shard's
 sections per worker process, so a :class:`ProcessExecutor` task ships only
-``(snapshot_path, shard_id, user_batch)`` — never a matrix.
+``(snapshot_path, shard_id, user_batch)`` plus any router-side divergence
+from the frozen file (grown user rows, ingested exclusion pairs) — never a
+catalogue matrix.
 """
 
 from __future__ import annotations
@@ -230,8 +232,34 @@ def _read_header_from(handle, path: Path) -> Tuple[dict, int]:
                                   "(corrupted file)")
     header = json.loads(header_bytes.decode("utf-8"))
     data_start = _align(_PREAMBLE.size + header_len)
+    if not isinstance(header, dict) or \
+            not isinstance(header.get("sections"), dict):
+        raise SnapshotFormatError(
+            f"{path}: malformed snapshot header (no section table)")
     for name, spec in header["sections"].items():
-        if data_start + spec["offset"] + spec["nbytes"] > file_size:
+        # The CRC only proves the header matches what was written, not that
+        # what was written is sane — a tampered-then-rechecksummed header
+        # must still fail closed instead of aliasing the preamble (negative
+        # offset) or mis-viewing a section (nbytes inconsistent with
+        # dtype * shape).
+        try:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(n) for n in spec["shape"])
+            offset = int(spec["offset"])
+            nbytes = int(spec["nbytes"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise SnapshotFormatError(
+                f"{path}: malformed section table entry {name!r} "
+                f"({error})") from error
+        if offset < 0 or any(n < 0 for n in shape):
+            raise SnapshotFormatError(
+                f"{path}: malformed section table entry {name!r} "
+                f"(negative offset or dimension)")
+        if nbytes != int(np.prod(shape, dtype=np.int64)) * dtype.itemsize:
+            raise SnapshotFormatError(
+                f"{path}: section {name!r} byte count does not match its "
+                f"dtype and shape")
+        if data_start + offset + nbytes > file_size:
             raise SnapshotFormatError(
                 f"{path}: truncated snapshot (section {name!r} reaches past "
                 f"end of file)")
@@ -421,25 +449,77 @@ class ServingSnapshot:
 # Multi-process fan-out workers.
 #
 # A ProcessExecutor task ships (snapshot_path, shard geometry, shard_id,
-# user batch) — never an embedding matrix.  Each worker process opens the
-# snapshot once, builds ONLY its shard's state (an mmap'd embedding slice,
-# the locally sliced exclusion, optionally the shard's quantised block) and
-# caches it for the life of the process, so steady-state fan-out cost is
-# one small (batch x k) result array per task.
+# user batch) plus any router-side divergence from the frozen file (grown
+# user rows, ingested exclusion pairs) — never an embedding matrix.  Each
+# worker process opens the snapshot once, builds ONLY its shard's state (an
+# mmap'd embedding slice, the locally sliced exclusion, optionally the
+# shard's quantised block) and caches it for the life of the process, so
+# steady-state fan-out cost is one small (batch x k) result array per task.
+#
+# Caches are keyed by file *identity* (inode + mtime), not just the path:
+# publish_snapshot() republishes via os.replace, and a long-lived worker
+# must pick up the fresh file instead of serving the superseded mapping
+# forever.  Superseded entries are evicted on the first miss.
 # ---------------------------------------------------------------------- #
 
 _WORKER_SHARDS: dict = {}
 _WORKER_BLOCKS: dict = {}
 
 
+def _snapshot_identity(snapshot_path: str) -> tuple:
+    """(st_ino, st_mtime_ns) of the snapshot file — changes on republish."""
+    stat = os.stat(snapshot_path)
+    return int(stat.st_ino), int(stat.st_mtime_ns)
+
+
+def _evict_superseded(snapshot_path: str, identity: tuple) -> None:
+    """Drop cached state built from a republished-over version of the file."""
+    for cache in (_WORKER_SHARDS, _WORKER_BLOCKS):
+        stale = [key for key in cache
+                 if key[0] == snapshot_path and key[1] != identity]
+        for key in stale:
+            del cache[key]
+
+
+class _PartialUserMask:
+    """Mask adapter tolerating user ids past the snapshot's id space.
+
+    A router that grew its user matrix online still ships global user ids;
+    the snapshot's CSR simply has no rows for them (their exclusion pairs
+    arrive as extra payload pairs), so masking skips them instead of
+    indexing past ``indptr``.
+    """
+
+    def __init__(self, base: UserItemIndex) -> None:
+        self.base = base
+
+    def mask(self, scores: np.ndarray, users: np.ndarray,
+             value: float = -np.inf) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        in_range = users < self.base.num_users
+        if in_range.all():
+            return self.base.mask(scores, users, value)
+        sel = np.nonzero(in_range)[0]
+        rows, cols = self.base.flat_pairs(users[sel])
+        if rows.size:
+            scores[sel[rows], cols] = value
+        return scores
+
+
 def _worker_shard(snapshot_path: str, num_shards: int, policy: str,
                   shard_id: int):
-    """This process's cached ``(ItemShard, user_embeddings)`` for one shard."""
-    key = (snapshot_path, num_shards, policy, shard_id)
+    """This process's cached ``(ItemShard, user_embeddings, snapshot,
+    identity)`` for one shard of the file currently at ``snapshot_path``."""
+    identity = _snapshot_identity(snapshot_path)
+    key = (snapshot_path, identity, num_shards, policy, shard_id)
     state = _WORKER_SHARDS.get(key)
     if state is None:
         from .sharding import ItemShard
 
+        _evict_superseded(snapshot_path, identity)
+        # A republish racing between the stat and this open hands us a file
+        # newer than `identity`; the next call re-stats, misses and reloads,
+        # so the mismatch lasts one task at most.
         snapshot = load_snapshot(snapshot_path, mmap=True)
         part = partition_items(snapshot.num_items, num_shards, policy)[shard_id]
         items = snapshot.section("item_embeddings")
@@ -448,7 +528,9 @@ def _worker_shard(snapshot_path: str, num_shards: int, policy: str,
         else:
             block = items[part]
         shard = ItemShard(shard_id, part, block, exclusion=snapshot.exclusion())
-        state = (shard, snapshot.section("user_embeddings"), snapshot)
+        if shard.exclusion is not None:
+            shard.exclusion = _PartialUserMask(shard.exclusion)
+        state = (shard, snapshot.section("user_embeddings"), snapshot, identity)
         _WORKER_SHARDS[key] = state
     return state
 
@@ -456,14 +538,30 @@ def _worker_shard(snapshot_path: str, num_shards: int, policy: str,
 def _worker_block(snapshot_path: str, num_shards: int, policy: str,
                   shard_id: int, mode: str) -> QuantizedItemBlock:
     """This process's cached quantised block for one shard."""
-    key = (snapshot_path, num_shards, policy, shard_id, mode)
+    shard, _, snapshot, identity = _worker_shard(snapshot_path, num_shards,
+                                                 policy, shard_id)
+    key = (snapshot_path, identity, num_shards, policy, shard_id, mode)
     block = _WORKER_BLOCKS.get(key)
     if block is None:
-        shard, _, snapshot = _worker_shard(snapshot_path, num_shards, policy,
-                                           shard_id)
         block = snapshot.quantized_block(mode).take(shard.item_ids)
         _WORKER_BLOCKS[key] = block
     return block
+
+
+def _locate_extra_pairs(shard, extra) -> Optional[tuple]:
+    """This shard's (batch row, local column) slice of shipped extra pairs.
+
+    ``extra`` is the router's ``(batch row, global item)`` exclusion pairs
+    the snapshot file does not hold (see
+    :meth:`ShardedInferenceIndex._payload_state`), or ``None``.
+    """
+    if extra is None:
+        return None
+    rows, items = extra
+    owned, local = shard.locate(items)
+    if not owned.any():
+        return None
+    return rows[owned], local[owned]
 
 
 def _execute_shard_payload(payload: tuple):
@@ -471,32 +569,41 @@ def _execute_shard_payload(payload: tuple):
 
     Payload shapes (first element selects the kind)::
 
-        ("top_k", path, S, policy, shard_id, users, k, exclude_train)
+        ("top_k", path, S, policy, shard_id, users, k, exclude_train,
+         user_block, extra_pairs)
         ("candidates", path, S, policy, shard_id, users, num_candidates,
-         mode, exclude_train)
+         mode, exclude_train, user_block, extra_pairs)
 
-    ``top_k`` returns the shard's ``(global ids, scores)`` candidate lists —
-    exactly :meth:`ItemShard.local_top_k`; ``candidates`` returns
+    ``user_block`` overrides the snapshot's user rows when the router
+    rebound its user matrix (grown users have no row in the file);
+    ``extra_pairs`` carries exclusion pairs the file does not hold — both
+    are ``None`` on the pure-snapshot fast path.  ``top_k`` returns the
+    shard's ``(global ids, scores)`` candidate lists — exactly
+    :meth:`ItemShard.local_top_k`; ``candidates`` returns
     ``(global ids, exact scores, thresholds)`` — exactly
     :meth:`ShardedCandidateIndex._shard_task`.  Both therefore merge
-    bit-identically to the in-process executors on the same snapshot.
+    bit-identically to the in-process executors on the same router state.
     """
     kind = payload[0]
     if kind == "top_k":
-        _, path, num_shards, policy, shard_id, users, k, exclude_train = payload
-        shard, user_embeddings, _ = _worker_shard(path, num_shards, policy,
-                                                  shard_id)
-        user_block = np.asarray(user_embeddings[users])
-        return shard.local_top_k(user_block, users, k, exclude_train)
+        (_, path, num_shards, policy, shard_id, users, k, exclude_train,
+         user_block, extra) = payload
+        shard, user_embeddings, _, _ = _worker_shard(path, num_shards, policy,
+                                                     shard_id)
+        if user_block is None:
+            user_block = np.asarray(user_embeddings[users])
+        return shard.local_top_k(user_block, users, k, exclude_train,
+                                 extra_pairs=_locate_extra_pairs(shard, extra))
     if kind == "candidates":
         (_, path, num_shards, policy, shard_id, users, num_candidates, mode,
-         exclude_train) = payload
+         exclude_train, user_block, extra) = payload
         from .candidates import _two_stage_block
 
-        shard, user_embeddings, _ = _worker_shard(path, num_shards, policy,
-                                                  shard_id)
+        shard, user_embeddings, _, _ = _worker_shard(path, num_shards, policy,
+                                                     shard_id)
         block = _worker_block(path, num_shards, policy, shard_id, mode)
-        user_block = np.asarray(user_embeddings[users])
+        if user_block is None:
+            user_block = np.asarray(user_embeddings[users])
         user_norms = np.linalg.norm(
             user_block.astype(np.float64, copy=False), axis=1)
 
@@ -506,6 +613,7 @@ def _execute_shard_payload(payload: tuple):
 
         local_ids, scores, thresholds = _two_stage_block(
             user_block, users, user_norms, num_candidates, block,
-            shard.exclusion, exclude_train, rescore)
+            shard.exclusion, exclude_train, rescore,
+            extra_pairs=_locate_extra_pairs(shard, extra))
         return shard.item_ids[local_ids], scores, thresholds
     raise ValueError(f"unknown shard payload kind {kind!r}")
