@@ -17,13 +17,14 @@ the history.
 from __future__ import annotations
 
 import json
+import math
 import os
 import platform
 import subprocess
 import sys
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Optional
+from typing import Optional, Sequence
 
 
 def peak_rss_bytes() -> Optional[int]:
@@ -42,6 +43,49 @@ def peak_rss_bytes() -> Optional[int]:
     if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
         return int(peak)
     return int(peak) * 1024
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` with linear interpolation.
+
+    Matches ``numpy.percentile``'s default (``method="linear"``): the rank
+    ``(n - 1) * q / 100`` is split into its integer neighbours and the value
+    interpolated between them.  Shared by every latency-reporting benchmark
+    so their p50/p99 numbers are computed identically.  Raises
+    ``ValueError`` on an empty sample set or a ``q`` outside [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(float(x) for x in samples)
+    if not ordered:
+        raise ValueError("percentile of an empty sample set is undefined")
+    rank = (len(ordered) - 1) * (q / 100.0)
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return ordered[lower]
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def latency_summary(seconds: Sequence[float]) -> dict:
+    """p50/p90/p99 (+ count/mean/max) of latency samples, in milliseconds.
+
+    ``seconds`` are raw per-request wall-clock latencies; the summary is the
+    shape the load-generator benchmarks record in their JSON artifacts and
+    gate their latency budgets on.
+    """
+    ordered = sorted(float(x) for x in seconds)
+    if not ordered:
+        raise ValueError("latency_summary needs at least one sample")
+    return {
+        "count": len(ordered),
+        "mean_ms": sum(ordered) / len(ordered) * 1e3,
+        "p50_ms": percentile(ordered, 50.0) * 1e3,
+        "p90_ms": percentile(ordered, 90.0) * 1e3,
+        "p99_ms": percentile(ordered, 99.0) * 1e3,
+        "max_ms": ordered[-1] * 1e3,
+    }
 
 
 def git_sha() -> Optional[str]:

@@ -132,6 +132,23 @@ def build_parser() -> argparse.ArgumentParser:
                                 "into the base index once it reaches this "
                                 "many pairs (results are identical before "
                                 "and after the merge)")
+    recommend.add_argument("--serve", action="store_true",
+                           help="serve the requested users concurrently "
+                                "through the async micro-batching frontend "
+                                "(results stay bit-identical to direct "
+                                "serving)")
+    recommend.add_argument("--batch-window-ms", type=float, default=2.0,
+                           dest="batch_window_ms", metavar="MS",
+                           help="with --serve: max time the first waiter of a "
+                                "batch is held before scoring (default 2.0)")
+    recommend.add_argument("--max-batch-size", type=int, default=64,
+                           dest="max_batch_size", metavar="N",
+                           help="with --serve: coalesce at most N requests "
+                                "into one scoring batch (default 64)")
+    recommend.add_argument("--max-pending", type=int, default=1024,
+                           dest="max_pending", metavar="N",
+                           help="with --serve: bounded queue depth before "
+                                "load shedding kicks in (default 1024)")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
 
     snapshot = subparsers.add_parser(
@@ -272,6 +289,36 @@ def _load_interaction_events(path: str):
     return np.asarray(users, dtype=np.int64), np.asarray(items, dtype=np.int64)
 
 
+def _serve_recommendations(service, users, args):
+    """Serve the requested users through the async micro-batching frontend.
+
+    All users are submitted concurrently, so they coalesce into shared
+    scoring batches exactly as concurrent clients would; the rows come back
+    bit-identical to ``service.top_k`` (the frontend's core invariant).
+    """
+    import asyncio
+
+    from .engine import AsyncRecommendationFrontend, OverloadedError
+
+    async def run():
+        async with AsyncRecommendationFrontend(
+                service, max_batch_size=args.max_batch_size,
+                batch_window_ms=args.batch_window_ms,
+                max_pending=args.max_pending) as frontend:
+            rows = await asyncio.gather(
+                *[frontend.recommend(user, args.top_k,
+                                     exclude_train=not args.include_train)
+                  for user in users])
+            return rows, frontend.stats()
+
+    try:
+        return asyncio.run(run())
+    except OverloadedError:
+        raise SystemExit(f"error: --serve: {len(users)} concurrent requests "
+                         f"overflow --max-pending {args.max_pending}; raise "
+                         f"it or batch fewer users")
+
+
 def _command_recommend(args: argparse.Namespace) -> int:
     # Validate cheap arguments before any dataset/model/training work.
     if args.top_k <= 0:
@@ -301,6 +348,14 @@ def _command_recommend(args: argparse.Namespace) -> int:
                          "--candidate-factor")
     if args.compact_threshold < 1:
         raise SystemExit("error: --compact-threshold must be a positive integer")
+    if args.serve:
+        if args.batch_window_ms < 0:
+            raise SystemExit("error: --batch-window-ms must be >= 0")
+        if args.max_batch_size < 1:
+            raise SystemExit("error: --max-batch-size must be a positive "
+                             "integer")
+        if args.max_pending < 1:
+            raise SystemExit("error: --max-pending must be a positive integer")
     try:
         users = [int(u) for u in args.users.split(",") if u.strip() != ""]
     except ValueError:
@@ -393,9 +448,13 @@ def _command_recommend(args: argparse.Namespace) -> int:
         if bad:
             raise SystemExit(f"error: user ids {bad} outside "
                              f"[0, {service.num_users}) after ingest")
+    frontend_stats = None
     try:
-        top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
-                            exclude_train=not args.include_train)
+        if args.serve:
+            top, frontend_stats = _serve_recommendations(service, users, args)
+        else:
+            top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
+                                exclude_train=not args.include_train)
     finally:
         close = getattr(service, "close", None)
         if close is not None:
@@ -414,6 +473,11 @@ def _command_recommend(args: argparse.Namespace) -> int:
         "recommendations": {str(u): [int(i) for i in row]
                             for u, row in zip(users, top)},
     }
+    cache_stats = getattr(service, "cache_stats", None)
+    if cache_stats is not None:
+        payload["cache"] = cache_stats()
+    if frontend_stats is not None:
+        payload["frontend"] = frontend_stats
     if args.candidates is not None:
         payload["candidates"] = service.certificate_stats
     if ingest_stats is not None:
@@ -430,6 +494,17 @@ def _command_recommend(args: argparse.Namespace) -> int:
                   f"compacted={ingest_stats['compacted']})")
         for user, row in zip(users, top):
             print(f"user {user}: {[int(i) for i in row]}")
+        if frontend_stats is not None:
+            print(f"frontend: {frontend_stats['requests']} requests in "
+                  f"{frontend_stats['batches']} batches "
+                  f"(mean occupancy {frontend_stats['mean_occupancy']:.1f}, "
+                  f"window {frontend_stats['batch_window_ms']} ms, "
+                  f"shed {frontend_stats['shed']})")
+        if cache_stats is not None:
+            stats = payload["cache"]
+            print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
+                  f"(hit rate {stats['hit_rate']:.2f}, "
+                  f"size {stats['size']}/{stats['capacity']})")
         if args.candidates is not None:
             stats = service.certificate_stats
             print(f"certificates: {stats['certified_users']}/{stats['users']} "

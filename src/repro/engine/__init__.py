@@ -52,6 +52,17 @@ models into a fast, reusable serving path:
   from-scratch rebuild — overlay serving ≡ rebuild serving, before and
   after compaction, across sharded and candidate backends.
 
+* :class:`AsyncRecommendationFrontend` — the asyncio micro-batching
+  front-end for socket-shaped traffic: arbitrarily many concurrent
+  ``await recommend(user, k)`` / ``await ingest(users, items)`` calls
+  coalesce into shared scoring (and ingest) batches per request signature,
+  flushed at ``max_batch_size`` or a ``batch_window_ms`` deadline started by
+  each group's first waiter.  Batches run on a worker thread (the event loop
+  never blocks), a bounded pending queue applies backpressure with explicit
+  load shedding (:class:`OverloadedError` or block-until-capacity), and the
+  results are bit-identical to calling ``service.top_k`` directly —
+  coalescing never changes results.
+
 * :class:`ServingSnapshot` / :func:`save_snapshot` / :func:`load_snapshot` —
   zero-copy persistence of the whole frozen serving state (embeddings, item
   norms, exclusion CSR, quantised candidate blocks) in ONE versioned,
@@ -82,6 +93,11 @@ from .candidates import (
     quantize_item_matrix,
 )
 from .service import RecommendationService
+from .frontend import (
+    SHED_POLICIES,
+    AsyncRecommendationFrontend,
+    OverloadedError,
+)
 from .online import (
     NEW_USER_POLICIES,
     InteractionDelta,
@@ -111,6 +127,9 @@ __all__ = [
     "UserItemIndex",
     "train_exclusion_index",
     "RecommendationService",
+    "SHED_POLICIES",
+    "AsyncRecommendationFrontend",
+    "OverloadedError",
     "ShardedInferenceIndex",
     "ItemShard",
     "SerialExecutor",

@@ -1,0 +1,394 @@
+"""Async micro-batching front-end: coalesce concurrent requests into batches.
+
+Production traffic is not pre-formed batches — it is thousands of concurrent
+single-user ``recommend`` calls plus a live event stream.  Served naively,
+each call degenerates into a batch-size-1 matmul plus one executor round
+trip, so throughput is bounded by per-request overhead instead of by the
+hardware.  :class:`AsyncRecommendationFrontend` restores the batch shape the
+engine is built for, without the callers ever cooperating:
+
+* **Coalescing.**  Concurrent ``await frontend.recommend(user, k)`` calls
+  are grouped per ``(k, exclude_train)`` signature.  A group is flushed into
+  ONE :meth:`RecommendationService.top_k` batch when either it reaches
+  ``max_batch_size`` waiters or the ``batch_window_ms`` deadline — started
+  by the group's *first* waiter — expires.  A lone request therefore waits
+  at most ~``batch_window_ms``; a full burst is served immediately.  Results
+  fan back out per-future, one row per waiter.
+* **Ingest coalescing.**  ``await frontend.ingest(users, items)`` calls pool
+  their events the same way, so one overlay merge and one targeted LRU
+  invalidation pass amortise across many concurrent event producers.  Every
+  waiter receives the coalesced batch's stats dict.
+* **Backpressure.**  At most ``max_pending`` requests may be queued or in
+  flight.  Above that the frontend sheds load: ``shed="reject"`` raises
+  :class:`OverloadedError` immediately (the caller can retry with jitter),
+  ``shed="block"`` awaits capacity.  Shed requests never enter a batch, so
+  the queue stays consistent.
+* **Never block the event loop.**  Batched scoring and ingestion run on ONE
+  worker thread (shard matmuls release the GIL; a single worker also
+  serialises ingest mutations against scoring reads, so the frontend needs
+  no locks around the service's index structures).
+
+Exactness contract ("coalescing never changes results"): a coalesced batch
+is served by the *same* :meth:`RecommendationService.top_k` the caller
+would have used directly, and each user's row of a batched top-K is computed
+independently of its neighbours — so every awaited result is **bit-identical**
+to calling ``service.top_k([user], k)`` serially.  The closed-loop benchmark
+(``benchmarks/bench_async_frontend.py``) gates this parity in CI along with
+the throughput and p99-latency floors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SHED_POLICIES", "AsyncRecommendationFrontend", "OverloadedError"]
+
+#: Load-shedding policies for a full pending queue: ``"reject"`` raises
+#: :class:`OverloadedError` immediately, ``"block"`` awaits capacity.
+SHED_POLICIES = ("reject", "block")
+
+
+class OverloadedError(RuntimeError):
+    """Raised (``shed="reject"``) when the pending queue is at capacity."""
+
+
+class _RecommendBatch:
+    """Waiters of one ``(k, exclude_train)`` group, pending flush."""
+
+    __slots__ = ("users", "futures", "timer")
+
+    def __init__(self) -> None:
+        self.users: List[int] = []
+        self.futures: List[asyncio.Future] = []
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class _IngestBatch:
+    """Pending ingest events pooled across concurrent producers."""
+
+    __slots__ = ("users", "items", "futures", "events", "timer")
+
+    def __init__(self) -> None:
+        self.users: List[np.ndarray] = []
+        self.items: List[np.ndarray] = []
+        self.futures: List[asyncio.Future] = []
+        self.events = 0
+        self.timer: Optional[asyncio.TimerHandle] = None
+
+
+class AsyncRecommendationFrontend:
+    """Coalesce concurrent async requests into shared scoring batches.
+
+    Parameters
+    ----------
+    service:
+        The :class:`RecommendationService` (or
+        :class:`OnlineRecommendationService`, required for :meth:`ingest`)
+        that actually serves the batches.  The frontend never bypasses it,
+        so results are bit-identical to direct ``service.top_k`` calls.
+    max_batch_size:
+        Flush a group as soon as this many waiters have coalesced.
+    batch_window_ms:
+        Deadline budget: the longest a request waits for co-batched company,
+        measured from the group's first waiter.
+    max_pending:
+        Bound on requests queued or in flight (recommend calls + ingest
+        calls); the backpressure limit.
+    shed:
+        What to do at capacity — one of :data:`SHED_POLICIES`.
+
+    Must be used from a running event loop; all methods are coroutine-safe
+    but the frontend itself is bound to the first loop that touches it.
+    """
+
+    def __init__(self, service, *, max_batch_size: int = 64,
+                 batch_window_ms: float = 2.0, max_pending: int = 1024,
+                 shed: str = "reject") -> None:
+        self.service = service
+        self.max_batch_size = int(max_batch_size)
+        self.batch_window_ms = float(batch_window_ms)
+        self.max_pending = int(max_pending)
+        self.shed = shed
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be a positive integer")
+        if not self.batch_window_ms > 0:
+            raise ValueError("batch_window_ms must be positive")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be a positive integer")
+        if shed not in SHED_POLICIES:
+            raise ValueError(f"unknown shed policy {shed!r}; "
+                             f"options: {SHED_POLICIES}")
+        # One worker thread: batches never block the event loop, and running
+        # them serially means ingest mutations and scoring reads of the
+        # shared service state can never race each other.
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-frontend")
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._closed = False
+        self._recommend_pending: Dict[Tuple[int, bool], _RecommendBatch] = {}
+        self._ingest_pending: Optional[_IngestBatch] = None
+        self._flushes: set = set()
+        self._capacity = asyncio.Condition()
+        self._pending = 0
+        # Stats.
+        self.requests = 0
+        self.cache_hits = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_occupancy = 0
+        self.ingest_calls = 0
+        self.ingest_batches = 0
+        self.ingest_events = 0
+        self.shed_count = 0
+        self.queue_high_water = 0
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+    def _get_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        elif self._loop is not loop:
+            raise RuntimeError("frontend is bound to another event loop")
+        return loop
+
+    async def _admit(self) -> None:
+        """Take one pending-queue slot, shedding load at capacity."""
+        if self._closed:
+            raise RuntimeError("frontend is closed")
+        if self._pending >= self.max_pending:
+            if self.shed == "reject":
+                self.shed_count += 1
+                raise OverloadedError(
+                    f"pending queue at capacity ({self.max_pending}); "
+                    f"retry later")
+            async with self._capacity:
+                await self._capacity.wait_for(
+                    lambda: self._pending < self.max_pending)
+        self._pending += 1
+        self.queue_high_water = max(self.queue_high_water, self._pending)
+
+    async def _release(self, count: int) -> None:
+        async with self._capacity:
+            self._pending -= count
+            self._capacity.notify_all()
+
+    def _spawn(self, coroutine) -> None:
+        """Run a flush coroutine as a tracked task (kept alive until done)."""
+        task = self._get_loop().create_task(coroutine)
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued or in flight."""
+        return self._pending
+
+    # ------------------------------------------------------------------ #
+    # Recommend path
+    # ------------------------------------------------------------------ #
+    async def recommend(self, user: int, k: int = 10,
+                        exclude_train: bool = True) -> List[int]:
+        """One user's top-``k``, served through a coalesced scoring batch.
+
+        Bit-identical to ``service.top_k([user], k, exclude_train)[0]``.
+        LRU-cached results resolve immediately without taking a queue slot;
+        misses wait at most ~``batch_window_ms`` for co-batched company.
+        """
+        loop = self._get_loop()
+        user, k = int(user), int(k)
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.requests += 1
+        cached = self.service.cache_lookup(user, k, exclude_train)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        await self._admit()
+        key = (k, bool(exclude_train))
+        batch = self._recommend_pending.get(key)
+        if batch is None:
+            batch = self._recommend_pending[key] = _RecommendBatch()
+            # The first waiter starts the deadline clock for the group.
+            batch.timer = loop.call_later(
+                self.batch_window_ms / 1000.0,
+                lambda: self._spawn(self._flush_recommend(key)))
+        future: asyncio.Future = loop.create_future()
+        batch.users.append(user)
+        batch.futures.append(future)
+        if len(batch.futures) >= self.max_batch_size:
+            # Detach the full group synchronously so later arrivals start a
+            # fresh batch (and a fresh window) — no batch ever exceeds
+            # max_batch_size even when many submissions precede the flush.
+            del self._recommend_pending[key]
+            self._spawn(self._run_recommend(batch, key))
+        return await future
+
+    def _score_batch(self, users: np.ndarray, k: int,
+                     exclude_train: bool) -> List[List[int]]:
+        """Worker-thread body: one shared top-K batch + LRU population."""
+        table = self.service.top_k(users, k, exclude_train=exclude_train)
+        rows = [[int(item) for item in row] for row in table]
+        for user, row in zip(users, rows):
+            self.service.cache_store(int(user), k, exclude_train, row)
+        return rows
+
+    async def _flush_recommend(self, key: Tuple[int, bool]) -> None:
+        """Deadline-triggered flush: detach the group (if still pending)."""
+        batch = self._recommend_pending.pop(key, None)
+        if batch is None:  # size- and deadline-triggered flushes raced
+            return
+        await self._run_recommend(batch, key)
+
+    async def _run_recommend(self, batch: _RecommendBatch,
+                             key: Tuple[int, bool]) -> None:
+        if batch.timer is not None:
+            batch.timer.cancel()
+        k, exclude_train = key
+        users = np.asarray(batch.users, dtype=np.int64)
+        try:
+            rows = await self._get_loop().run_in_executor(
+                self._executor, self._score_batch, users, k, exclude_train)
+        except Exception as error:
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(error)
+        else:
+            for future, row in zip(batch.futures, rows):
+                if not future.done():
+                    future.set_result(row)
+        finally:
+            self.batches += 1
+            self.batched_requests += len(batch.futures)
+            self.max_occupancy = max(self.max_occupancy, len(batch.futures))
+            await self._release(len(batch.futures))
+
+    # ------------------------------------------------------------------ #
+    # Ingest path
+    # ------------------------------------------------------------------ #
+    async def ingest(self, users, items) -> dict:
+        """Fold new interaction events in, through a coalesced ingest batch.
+
+        Events from concurrent producers pool into ONE
+        ``service.ingest(users, items)`` call per flush, so the overlay merge
+        and the targeted LRU invalidation amortise across producers.  Every
+        waiter receives the coalesced batch's stats dict (plus
+        ``coalesced_calls``, the number of producers pooled into it).
+        """
+        self._get_loop()
+        if not hasattr(self.service, "ingest"):
+            raise TypeError("service does not support ingest; wrap an "
+                            "OnlineRecommendationService for online traffic")
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        if users.shape != items.shape or users.ndim != 1:
+            raise ValueError("users and items must be aligned 1-d arrays")
+        self.ingest_calls += 1
+        await self._admit()
+        batch = self._ingest_pending
+        if batch is None:
+            batch = self._ingest_pending = _IngestBatch()
+            batch.timer = self._get_loop().call_later(
+                self.batch_window_ms / 1000.0,
+                lambda: self._spawn(self._flush_ingest()))
+        future: asyncio.Future = self._get_loop().create_future()
+        batch.users.append(users)
+        batch.items.append(items)
+        batch.events += int(users.size)
+        batch.futures.append(future)
+        if batch.events >= self.max_batch_size:
+            # Detach synchronously — later producers start a fresh batch.
+            self._ingest_pending = None
+            self._spawn(self._run_ingest(batch))
+        return await future
+
+    async def _flush_ingest(self) -> None:
+        """Deadline-triggered flush: detach the batch (if still pending)."""
+        batch, self._ingest_pending = self._ingest_pending, None
+        if batch is None:
+            return
+        await self._run_ingest(batch)
+
+    async def _run_ingest(self, batch: _IngestBatch) -> None:
+        if batch.timer is not None:
+            batch.timer.cancel()
+        users = np.concatenate(batch.users)
+        items = np.concatenate(batch.items)
+        try:
+            stats = await self._get_loop().run_in_executor(
+                self._executor, self.service.ingest, users, items)
+        except Exception as error:
+            for future in batch.futures:
+                if not future.done():
+                    future.set_exception(error)
+        else:
+            for future in batch.futures:
+                if not future.done():
+                    future.set_result(
+                        dict(stats, coalesced_calls=len(batch.futures)))
+        finally:
+            self.ingest_batches += 1
+            self.ingest_events += batch.events
+            await self._release(len(batch.futures))
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle / stats
+    # ------------------------------------------------------------------ #
+    async def flush(self) -> None:
+        """Flush every pending group now and wait for the results to land."""
+        for key in list(self._recommend_pending):
+            self._spawn(self._flush_recommend(key))
+        if self._ingest_pending is not None:
+            self._spawn(self._flush_ingest())
+        while self._flushes:
+            await asyncio.gather(*list(self._flushes), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain pending batches, then release the worker thread.
+
+        Idempotent.  Requests submitted after ``close()`` raise; requests
+        already pending are served.
+        """
+        self._closed = True
+        await self.flush()
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AsyncRecommendationFrontend":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    def stats(self) -> dict:
+        """Point-in-time coalescing / backpressure counters."""
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_occupancy": (self.batched_requests / self.batches
+                               if self.batches else 0.0),
+            "max_occupancy": self.max_occupancy,
+            "ingest_calls": self.ingest_calls,
+            "ingest_batches": self.ingest_batches,
+            "ingest_events": self.ingest_events,
+            "shed": self.shed_count,
+            "pending": self._pending,
+            "queue_high_water": self.queue_high_water,
+            "max_batch_size": self.max_batch_size,
+            "batch_window_ms": self.batch_window_ms,
+            "max_pending": self.max_pending,
+            "shed_policy": self.shed,
+        }
+
+    def __repr__(self) -> str:
+        return (f"AsyncRecommendationFrontend(service={self.service!r}, "
+                f"max_batch_size={self.max_batch_size}, "
+                f"batch_window_ms={self.batch_window_ms}, "
+                f"max_pending={self.max_pending}, shed={self.shed!r}, "
+                f"batches={self.batches}, shed_count={self.shed_count})")

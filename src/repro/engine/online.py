@@ -347,8 +347,14 @@ class OnlineRecommendationService(RecommendationService):
     executor seam (each shard's local exclusion gets a sliced overlay), and
     candidate serving keeps its quantised blocks (ingest never requantises —
     item embeddings are untouched — only compaction rebuilds the backend).
-    Not thread-safe with respect to concurrent ``ingest`` calls; serving
-    between ingests is as thread-safe as the underlying service.
+    Concurrent ``ingest`` / ``compact`` calls serialise on an internal lock;
+    serving *during* an ingest from another thread is safe because every
+    mutation is an atomic swap of an immutable structure (the delta's sorted
+    key array, the compacted base CSR, the grown embedding matrix) — a
+    concurrent reader sees the complete old state or the complete new state,
+    never a partial one.  The :class:`repro.engine.AsyncRecommendationFrontend`
+    additionally funnels all batches through one worker thread, so coalesced
+    traffic never races at all.
     """
 
     def __init__(self, model=None, split=None, *,
@@ -365,6 +371,9 @@ class OnlineRecommendationService(RecommendationService):
         self.new_user_policy = new_user_policy
         self.max_user_growth = int(max_user_growth)
         self.snapshot_path = Path(snapshot_path) if snapshot_path else None
+        # Serialises concurrent ingest/compact calls (reentrant: an ingest
+        # crossing compact_threshold compacts while holding the lock).
+        self._ingest_lock = threading.RLock()
         self.publishes = 0
         self._publisher: Optional[threading.Thread] = None
         self._publish_error: Optional[BaseException] = None
@@ -466,6 +475,10 @@ class OnlineRecommendationService(RecommendationService):
         ``new_users`` created, ``touched_users`` whose cache entries were
         invalidated, and whether the call triggered a ``compacted`` merge.
         """
+        with self._ingest_lock:
+            return self._ingest_locked(users, items)
+
+    def _ingest_locked(self, users, items) -> dict:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         if users.shape != items.shape or users.ndim != 1:
@@ -514,21 +527,24 @@ class OnlineRecommendationService(RecommendationService):
         on-disk snapshot in a background thread; the default republishes
         exactly when the service was constructed with ``snapshot_path=…``.
         """
-        self._overlay.compact()
-        for overlay in self._shard_overlays:
-            overlay.compact()
-        if self._candidates is not None:
-            previous = self._candidates
-            self._candidates = self._build_candidates()
-            # Compaction is invisible to serving; the aggregate certificate
-            # and escalation counters must not reset mid-stream (unlike
-            # refresh, where new embeddings genuinely start a new story).
-            for counter in ("total_batches", "certified_batches",
-                            "total_users", "certified_users",
-                            "escalation_rounds", "escalated_users",
-                            "exact_fallback_users", "last_certificate"):
-                setattr(self._candidates, counter, getattr(previous, counter))
-        self.compactions += 1
+        with self._ingest_lock:
+            self._overlay.compact()
+            for overlay in self._shard_overlays:
+                overlay.compact()
+            if self._candidates is not None:
+                previous = self._candidates
+                self._candidates = self._build_candidates()
+                # Compaction is invisible to serving; the aggregate
+                # certificate and escalation counters must not reset
+                # mid-stream (unlike refresh, where new embeddings genuinely
+                # start a new story).
+                for counter in ("total_batches", "certified_batches",
+                                "total_users", "certified_users",
+                                "escalation_rounds", "escalated_users",
+                                "exact_fallback_users", "last_certificate"):
+                    setattr(self._candidates, counter,
+                            getattr(previous, counter))
+            self.compactions += 1
         if publish is None:
             publish = self.snapshot_path is not None
         if publish:

@@ -32,8 +32,9 @@ bit-identical to serving from the index it was saved from.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -166,7 +167,15 @@ class RecommendationService:
                 index, self.num_shards, policy=shard_policy,
                 executor=self._executor)
         self._candidates = self._build_candidates()
+        # The LRU cache is shared mutable state: the async front-end's worker
+        # thread, a user's own threads and the event loop may all touch it, so
+        # every cache mutation happens under one lock.  Scoring itself never
+        # holds the lock — a miss computed twice is wasted work, not a bug.
+        self._cache_lock = threading.Lock()
         self._cache: "OrderedDict[tuple, tuple]" = OrderedDict()
+        # user id -> cache keys currently held for that user, so targeted
+        # invalidation after an ingest is O(touched users), not O(cache).
+        self._user_keys: Dict[int, Set[Tuple[int, int, bool]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
 
@@ -323,25 +332,87 @@ class RecommendationService:
             and np.array_equal(previous.item_embeddings, current.item_embeddings))
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self.cache_hits = 0
-        self.cache_misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._user_keys.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
 
     def invalidate_users(self, users) -> int:
         """Drop cached results of just these users; everyone else stays warm.
 
         The targeted counterpart of :meth:`clear_cache` for online updates:
         an ingest only changes the touched users' exclusion sets, so only
-        their entries can be stale.  Hit/miss counters are preserved.
-        Returns the number of entries removed.
+        their entries can be stale.  The per-user key index makes this
+        O(touched users + removed entries) rather than a scan of the whole
+        cache.  Hit/miss counters are preserved.  Returns the number of
+        entries removed.
         """
-        if not self._cache:
-            return 0
         targets = {int(user) for user in np.atleast_1d(np.asarray(users))}
-        stale = [key for key in self._cache if key[0] in targets]
-        for key in stale:
-            del self._cache[key]
-        return len(stale)
+        removed = 0
+        with self._cache_lock:
+            for user in targets:
+                for key in self._user_keys.pop(user, ()):
+                    if self._cache.pop(key, None) is not None:
+                        removed += 1
+        return removed
+
+    def cache_lookup(self, user: int, k: int,
+                     exclude_train: bool = True) -> Optional[List[int]]:
+        """The cached top-``k`` list for ``user``, or ``None`` on a miss.
+
+        Counts a hit or a miss; returns ``None`` (without counting) when
+        caching is disabled.  Thread-safe — this is the probe the async
+        front-end uses to resolve requests without forming a batch.
+        """
+        if self.cache_size <= 0:
+            return None
+        key = (int(user), int(k), bool(exclude_train))
+        with self._cache_lock:
+            cached = self._cache.get(key)
+            if cached is None:
+                self.cache_misses += 1
+                return None
+            self._cache.move_to_end(key)
+            self.cache_hits += 1
+            return list(cached)
+
+    def cache_store(self, user: int, k: int, exclude_train: bool,
+                    items: Sequence[int]) -> None:
+        """Insert one served top-``k`` list, evicting LRU entries over capacity.
+
+        Thread-safe; a no-op when caching is disabled.  Evicted keys are
+        dropped from the per-user index so :meth:`invalidate_users` never
+        touches dead entries.
+        """
+        if self.cache_size <= 0:
+            return
+        key = (int(user), int(k), bool(exclude_train))
+        with self._cache_lock:
+            self._cache[key] = tuple(int(item) for item in items)
+            self._cache.move_to_end(key)
+            self._user_keys.setdefault(key[0], set()).add(key)
+            while len(self._cache) > self.cache_size:
+                evicted, _ = self._cache.popitem(last=False)
+                keys = self._user_keys.get(evicted[0])
+                if keys is not None:
+                    keys.discard(evicted)
+                    if not keys:
+                        del self._user_keys[evicted[0]]
+
+    def cache_stats(self) -> dict:
+        """Point-in-time LRU counters (hits, misses, hit rate, occupancy)."""
+        with self._cache_lock:
+            hits, misses = self.cache_hits, self.cache_misses
+            size = len(self._cache)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "size": size,
+            "capacity": self.cache_size,
+        }
 
     def _serve_top_k(self, users: np.ndarray, k: int,
                      exclude_train: bool) -> np.ndarray:
@@ -378,21 +449,16 @@ class RecommendationService:
     def recommend(self, user: int, k: int = 10,
                   exclude_train: bool = True) -> List[int]:
         """Cached single-user top-``k`` (the interactive / online entry point)."""
-        key = (int(user), int(k), bool(exclude_train))
-        if self.cache_size > 0:
-            cached = self._cache.get(key)
-            if cached is not None:
-                self._cache.move_to_end(key)
-                self.cache_hits += 1
-                return list(cached)
-        self.cache_misses += 1
+        cached = self.cache_lookup(user, k, exclude_train)
+        if cached is not None:
+            return cached
+        if self.cache_size <= 0:
+            with self._cache_lock:
+                self.cache_misses += 1
         block = np.asarray([int(user)], dtype=np.int64)
         items = [int(item) for item in
                  self._serve_top_k(block, int(k), bool(exclude_train))[0]]
-        if self.cache_size > 0:
-            self._cache[key] = tuple(items)
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
+        self.cache_store(user, k, exclude_train, items)
         return items
 
     def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:

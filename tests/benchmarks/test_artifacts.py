@@ -1,0 +1,69 @@
+"""Unit tests for the shared benchmark helpers (percentile math, summaries)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.artifacts import latency_summary, percentile
+
+
+class TestPercentile:
+    def test_matches_numpy_linear_interpolation(self):
+        rng = np.random.default_rng(42)
+        for size in (1, 2, 3, 10, 101, 997):
+            samples = rng.exponential(scale=0.01, size=size)
+            for q in (0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0):
+                np.testing.assert_allclose(
+                    percentile(samples, q), np.percentile(samples, q),
+                    rtol=1e-12, atol=0.0)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+        assert percentile([3.0, 1.0, 2.0], 50.0) == percentile([1, 2, 3], 50)
+
+    def test_interpolates_between_neighbours(self):
+        # rank = (4 - 1) * 0.5 = 1.5 -> halfway between the 2nd and 3rd value
+        assert percentile([0.0, 10.0, 20.0, 30.0], 50.0) == 15.0
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_endpoints_are_min_and_max(self):
+        samples = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 100.0) == 9.0
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+
+class TestLatencySummary:
+    def test_summary_fields_in_milliseconds(self):
+        # 1..100 ms as seconds; percentiles of the 100-sample ladder.
+        samples = [i / 1000.0 for i in range(1, 101)]
+        summary = latency_summary(samples)
+        assert summary["count"] == 100
+        np.testing.assert_allclose(summary["mean_ms"], 50.5)
+        np.testing.assert_allclose(summary["p50_ms"], 50.5)
+        np.testing.assert_allclose(
+            summary["p99_ms"], np.percentile(samples, 99.0) * 1e3)
+        np.testing.assert_allclose(summary["max_ms"], 100.0)
+
+    def test_summary_matches_percentile_helper(self):
+        rng = np.random.default_rng(7)
+        samples = rng.exponential(scale=0.02, size=333)
+        summary = latency_summary(samples)
+        for name, q in (("p50_ms", 50.0), ("p90_ms", 90.0), ("p99_ms", 99.0)):
+            np.testing.assert_allclose(summary[name],
+                                       percentile(samples, q) * 1e3)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            latency_summary([])

@@ -118,6 +118,119 @@ class TestCache:
         service.recommend(0, k=3)
         assert service.cache_hits == 1
 
+    def test_invalidate_users_matches_full_scan_reference(self, model):
+        """The per-user key index removes exactly what the old O(cache)
+        key[0]-scan would have removed."""
+        service = RecommendationService(model)
+        for user in range(6):
+            for k in (3, 5, 7):
+                service.recommend(user, k=k)
+                service.recommend(user, k=k, exclude_train=False)
+        targets = {1, 3, 4, 99}  # 99: never cached
+        expected = {key for key in service._cache if key[0] in targets}
+        survivors = {key for key in service._cache if key[0] not in targets}
+        removed = service.invalidate_users(sorted(targets))
+        assert removed == len(expected)
+        assert set(service._cache) == survivors
+        # The secondary index holds no keys for the invalidated users.
+        assert not (set(service._user_keys) & targets)
+
+    def test_user_key_index_tracks_eviction(self, model):
+        """Evicted entries leave the per-user index too — invalidating an
+        already-evicted user is a counted no-op."""
+        service = RecommendationService(model, cache_size=2)
+        service.recommend(0, k=3)
+        service.recommend(1, k=3)
+        service.recommend(2, k=3)  # evicts user 0's only entry
+        assert service.invalidate_users([0]) == 0
+        assert 0 not in service._user_keys
+        assert service.invalidate_users([2]) == 1
+
+    def test_cache_stats_payload(self, model):
+        service = RecommendationService(model, cache_size=8)
+        stats = service.cache_stats()
+        assert stats == {"hits": 0, "misses": 0, "hit_rate": 0.0,
+                         "size": 0, "capacity": 8}
+        service.recommend(0, k=3)
+        service.recommend(0, k=3)
+        service.recommend(1, k=3)
+        stats = service.cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 2
+        assert stats["hit_rate"] == pytest.approx(1 / 3)
+        assert stats["size"] == 2 and stats["capacity"] == 8
+
+    def test_cache_lookup_and_store_roundtrip(self, model):
+        service = RecommendationService(model)
+        assert service.cache_lookup(0, 4) is None  # counted miss
+        direct = [int(i) for i in service.top_k(np.asarray([0]), 4)[0]]
+        service.cache_store(0, 4, True, direct)
+        assert service.cache_lookup(0, 4) == direct
+        assert service.cache_hits == 1 and service.cache_misses == 1
+        # Disabled cache: lookup/store are silent no-ops.
+        bare = RecommendationService(model, cache_size=0)
+        bare.cache_store(0, 4, True, direct)
+        assert bare.cache_lookup(0, 4) is None
+        assert bare.cache_hits == 0 and bare.cache_misses == 0
+
+
+class TestCacheThreadSafety:
+    def test_concurrent_recommend_invalidate_clear(self, model, tiny_split):
+        """Hammer the LRU from many threads; the lock must keep the cache
+        and its per-user index consistent (no lost updates, no KeyErrors)."""
+        import threading
+
+        service = RecommendationService(model, cache_size=16)
+        oracle = {(user, k): [int(i) for i in row]
+                  for k in (3, 5)
+                  for user, row in zip(
+                      range(tiny_split.num_users),
+                      service.top_k(np.arange(tiny_split.num_users), k))}
+        errors = []
+        stop = threading.Event()
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    user = int(rng.integers(tiny_split.num_users))
+                    k = int(rng.choice([3, 5]))
+                    got = service.recommend(user, k=k)
+                    if got != oracle[(user, k)]:
+                        errors.append(f"user {user} k {k}: {got}")
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(repr(error))
+
+        def churner(seed):
+            rng = np.random.default_rng(seed)
+            try:
+                while not stop.is_set():
+                    if rng.random() < 0.1:
+                        service.clear_cache()
+                    else:
+                        service.invalidate_users(
+                            rng.integers(tiny_split.num_users, size=3))
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(repr(error))
+
+        threads = ([threading.Thread(target=reader, args=(s,))
+                    for s in range(4)]
+                   + [threading.Thread(target=churner, args=(100 + s,))
+                      for s in range(2)])
+        for thread in threads:
+            thread.start()
+        import time
+        time.sleep(0.4)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors, errors[:5]
+        with service._cache_lock:
+            assert len(service._cache) <= service.cache_size
+            # Index and cache agree exactly.
+            indexed = {key for keys in service._user_keys.values()
+                       for key in keys}
+            assert indexed == set(service._cache)
+
 
 class TestRefresh:
     def test_refresh_sees_new_weights(self, model):

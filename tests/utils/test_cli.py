@@ -420,3 +420,71 @@ class TestSnapshotCommand:
         recommend_help = subparsers.choices["recommend"].format_help()
         assert "--snapshot" in recommend_help and "--executor" in recommend_help
         assert "snapshot" in parser.format_help()
+
+
+class TestServeRecommend:
+    BASE = ["recommend", "--model", "bpr", "--dataset", "tiny", "--epochs", "0",
+            "--embedding-dim", "8", "--users", "0,1,2,3", "-k", "4", "--json"]
+
+    def _payload(self, capsys, extra):
+        assert main(self.BASE + extra) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_serve_matches_direct_serving(self, capsys):
+        direct = self._payload(capsys, [])
+        served = self._payload(capsys, ["--serve"])
+        assert served["recommendations"] == direct["recommendations"]
+
+    def test_serve_coalesces_and_reports_frontend_stats(self, capsys):
+        payload = self._payload(capsys, ["--serve", "--batch-window-ms", "5",
+                                         "--max-batch-size", "4"])
+        stats = payload["frontend"]
+        assert stats["requests"] == 4
+        assert stats["batches"] >= 1
+        assert stats["batched_requests"] == 4  # nothing was cached up front
+        assert stats["shed"] == 0 and stats["pending"] == 0
+        assert stats["max_batch_size"] == 4 and stats["batch_window_ms"] == 5.0
+
+    def test_serve_matches_direct_with_sharding(self, capsys):
+        direct = self._payload(capsys, ["--shards", "3"])
+        served = self._payload(capsys, ["--shards", "3", "--serve"])
+        assert served["recommendations"] == direct["recommendations"]
+
+    def test_cache_stats_in_payload(self, capsys):
+        # Direct serving goes straight through top_k: the LRU stays untouched
+        # but its stats are still surfaced.
+        payload = self._payload(capsys, [])
+        cache = payload["cache"]
+        assert set(cache) == {"hits", "misses", "hit_rate", "size", "capacity"}
+        assert cache["hits"] == 0 and cache["misses"] == 0
+        # The frontend probes and populates the LRU per request.
+        served = self._payload(capsys, ["--serve"])["cache"]
+        assert served["misses"] == 4 and served["size"] == 4
+
+    def test_text_output_reports_frontend_and_cache(self, capsys):
+        argv = [arg for arg in self.BASE if arg != "--json"] + ["--serve"]
+        assert main(argv) == 0
+        output = capsys.readouterr().out
+        assert "frontend:" in output and "cache:" in output
+
+    def test_rejects_bad_serve_knobs(self):
+        with pytest.raises(SystemExit, match="batch-window-ms"):
+            main(self.BASE + ["--serve", "--batch-window-ms", "-1"])
+        with pytest.raises(SystemExit, match="max-batch-size"):
+            main(self.BASE + ["--serve", "--max-batch-size", "0"])
+        with pytest.raises(SystemExit, match="max-pending"):
+            main(self.BASE + ["--serve", "--max-pending", "0"])
+
+    def test_rejects_overflowing_max_pending(self):
+        with pytest.raises(SystemExit, match="max-pending"):
+            main(self.BASE + ["--serve", "--max-pending", "2"])
+
+    def test_help_documents_serve_flags(self):
+        import argparse
+        parser = build_parser()
+        subparsers = next(action for action in parser._actions
+                          if isinstance(action, argparse._SubParsersAction))
+        recommend_help = subparsers.choices["recommend"].format_help()
+        for flag in ("--serve", "--batch-window-ms", "--max-batch-size",
+                     "--max-pending"):
+            assert flag in recommend_help
