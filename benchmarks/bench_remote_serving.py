@@ -1,0 +1,289 @@
+"""Benchmark — multi-host shard serving over sockets: parity + fault gates.
+
+Freezes a trained index into a serving snapshot, launches one real
+``repro shard-server`` *process* per shard on localhost, and serves through
+``RecommendationService(snapshot=…, executor="remote")``, checking three
+things:
+
+* **Parity (the CI gate).**  For S ∈ {2, 4} and candidate_mode ∈ {None,
+  int8}, remote serving over sockets must return *bit-exact* top-K lists
+  (same ids, same order) as the serial in-memory oracle.  Any drift between
+  the socket transport + merge and the single-matrix ranking fails the
+  build.
+* **Fault handling (also gated).**  A shard process killed mid-session must
+  surface as a typed ``RemoteShardError`` — never a silently truncated or
+  partial top-K — and a router pinned to a *different* snapshot file must be
+  rejected at handshake time (stale shards fail closed).
+* **Throughput.**  Full-user-batch top-K, timed remote vs serial.  On
+  CI-sized presets the localhost socket round-trip dominates — the numbers
+  are reported for trend tracking, not asserted (the remote tier pays off
+  when the catalogue outgrows one host's memory, which no CI preset
+  reaches).
+
+Environment knobs: ``REPRO_BENCH_DATASET`` (e.g. ``tiny`` for the CI smoke
+run) and ``REPRO_BENCH_JSON`` (artifact directory, see ``artifacts.py``).
+
+Run stand-alone with ``python benchmarks/bench_remote_serving.py`` or via
+pytest: ``pytest benchmarks/bench_remote_serving.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import chronological_split, dataset_preset  # noqa: E402
+from repro.engine import (  # noqa: E402
+    InferenceIndex,
+    RecommendationService,
+    RemoteExecutor,
+    RemoteShardError,
+    save_snapshot,
+)
+from repro.models import LightGCN  # noqa: E402
+
+SHARD_COUNTS = (2, 4)
+MODES = (None, "int8")
+DEFAULT_DATASETS = ("mooc",)
+TOP_K = 10
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return DEFAULT_DATASETS
+
+
+def _time(callable_, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _build_index(name: str) -> InferenceIndex:
+    split = chronological_split(dataset_preset(name, seed=0))
+    model = LightGCN(split, embedding_dim=64, num_layers=3, seed=0)
+    model.eval()
+    return InferenceIndex.from_model(model, split)
+
+
+def _launch_shard_servers(snapshot_path, num_shards: int):
+    """One real ``repro shard-server`` process per shard, on localhost.
+
+    Launching through the CLI (not in-process threads) makes this the same
+    deployment shape as multi-host serving: separate interpreters whose only
+    shared state is the snapshot file.  Returns ``(processes, addresses)``
+    once every server has printed its bound ephemeral port.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    processes = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "shard-server",
+             str(snapshot_path), "--shard-id", str(shard_id),
+             "--num-shards", str(num_shards)],
+            stdout=subprocess.PIPE, text=True, env=env)
+        for shard_id in range(num_shards)
+    ]
+    addresses = []
+    for process in processes:
+        address = None
+        for line in process.stdout:
+            if line.startswith("listening on "):
+                address = line.strip().rsplit(" ", 1)[-1]
+                break
+        if address is None:
+            _stop_servers(processes)
+            raise AssertionError(
+                "shard server exited before binding its port "
+                f"(exit code {process.poll()})")
+        addresses.append(address)
+    return processes, addresses
+
+
+def _stop_servers(processes) -> None:
+    for process in processes:
+        if process.poll() is None:
+            process.kill()
+    for process in processes:
+        process.wait()
+        if process.stdout is not None:
+            process.stdout.close()
+
+
+def check_fault_handling(snapshot_path, other_snapshot_path, users) -> dict:
+    """Assert the remote tier fails closed; returns the checks performed.
+
+    * Killing one of two shard processes mid-session must raise a typed
+      ``RemoteShardError`` from the next request — the service must never
+      hand back a ranking that silently lost that shard's items.
+    * A router whose snapshot differs from the servers' must be rejected at
+      handshake (snapshot-identity mismatch), before any payload is merged.
+    """
+    processes, addresses = _launch_shard_servers(snapshot_path, 2)
+    try:
+        with RecommendationService(snapshot=snapshot_path, executor="remote",
+                                   shard_addresses=addresses) as service:
+            executor = service.sharded.executor
+            executor.max_retries = 1
+            executor.retry_backoff = 0.01
+            before = service.top_k(users, TOP_K)
+            assert before.shape == (users.size, TOP_K), \
+                "remote serving returned a malformed batch"
+            processes[1].kill()
+            processes[1].wait()
+            try:
+                after = service.top_k(users, TOP_K)
+            except RemoteShardError:
+                pass  # fail-closed: the typed error is the contract
+            else:
+                raise AssertionError(
+                    "a killed shard produced a result instead of a typed "
+                    f"RemoteShardError (shape {after.shape}) — remote "
+                    "serving must fail closed, never truncate a merge")
+    finally:
+        _stop_servers(processes)
+
+    # Stale-snapshot rejection: same geometry, different file content.
+    processes, addresses = _launch_shard_servers(snapshot_path, 2)
+    try:
+        with RemoteExecutor(addresses, snapshot_path=other_snapshot_path,
+                            max_retries=0) as executor:
+            try:
+                executor.fan_out("top_k", users[:1], 1, False, None, None)
+            except RemoteShardError as error:
+                assert "identity mismatch" in str(error), (
+                    "stale shard was rejected for the wrong reason: "
+                    f"{error}")
+            else:
+                raise AssertionError(
+                    "a shard serving a different snapshot file passed the "
+                    "handshake — stale shards must be rejected")
+    finally:
+        _stop_servers(processes)
+    return {"killed_shard_typed_error": True, "stale_snapshot_rejected": True}
+
+
+def run_remote_serving(datasets=None, repeats: int = 3):
+    """Parity-check and time every (dataset, shard count, mode) cell."""
+    rows = []
+    for name in (datasets or _datasets()):
+        index = _build_index(name)
+        users = np.arange(index.num_users, dtype=np.int64)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-remote-") as tmp:
+            snapshot_path = save_snapshot(Path(tmp) / "serve.snap", index,
+                                          candidate_modes=("int8",))
+            # A second snapshot with different content for the stale-shard
+            # rejection gate (same catalogue, different embedding bytes).
+            other = LightGCN(chronological_split(dataset_preset(name, seed=0)),
+                             embedding_dim=64, num_layers=3, seed=1)
+            other.eval()
+            other_path = save_snapshot(
+                Path(tmp) / "other.snap",
+                InferenceIndex.from_model(
+                    other, chronological_split(dataset_preset(name, seed=0))),
+                candidate_modes=("int8",))
+
+            fault = check_fault_handling(snapshot_path, other_path, users[:16])
+
+            for num_shards in SHARD_COUNTS:
+                processes, addresses = _launch_shard_servers(snapshot_path,
+                                                             num_shards)
+                try:
+                    for mode in MODES:
+                        with RecommendationService(
+                                snapshot=snapshot_path,
+                                candidate_mode=mode) as oracle_service:
+                            oracle = oracle_service.top_k(users, TOP_K)
+                            serial_s = _time(
+                                lambda: oracle_service.top_k(users, TOP_K),
+                                repeats)
+                        with RecommendationService(
+                                snapshot=snapshot_path, executor="remote",
+                                shard_addresses=addresses,
+                                candidate_mode=mode) as service:
+                            served = service.top_k(users, TOP_K)
+                            assert np.array_equal(oracle, served), (
+                                f"remote top-{TOP_K} (S={num_shards}, "
+                                f"mode={mode}) diverges from the serial "
+                                f"oracle")
+                            remote_s = _time(
+                                lambda: service.top_k(users, TOP_K), repeats)
+                        rows.append({
+                            "dataset": name,
+                            "users": int(index.num_users),
+                            "items": int(index.num_items),
+                            "shards": num_shards,
+                            "mode": mode or "exact",
+                            "serial_ms": serial_s * 1e3,
+                            "remote_ms": remote_s * 1e3,
+                            "users_per_s": index.num_users / remote_s,
+                            "relative": serial_s / remote_s,
+                            "parity": True,
+                            **fault,
+                        })
+                finally:
+                    _stop_servers(processes)
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'users':>6} {'items':>6} {'S':>3} "
+              f"{'mode':>6} {'serial ms':>10} {'remote ms':>10} "
+              f"{'users/s':>10} {'rel':>6}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10} {row['users']:>6d} {row['items']:>6d} "
+            f"{row['shards']:>3d} {row['mode']:>6} "
+            f"{row['serial_ms']:>10.2f} {row['remote_ms']:>10.2f} "
+            f"{row['users_per_s']:>10.0f} {row['relative']:>5.2f}x")
+    return "\n".join(lines)
+
+
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    preset = ",".join(sorted({row["dataset"] for row in rows}))
+    write_artifact("bench_remote_serving", rows, preset=preset)
+
+
+def test_remote_serving():
+    rows = run_remote_serving()
+    try:
+        from .conftest import print_block
+        print_block("Remote serving — bit-exact socket fan-out vs serial "
+                    "oracle", format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _write_artifact(rows)
+
+
+def main() -> int:
+    rows = run_remote_serving()
+    print(format_rows(rows))
+    _write_artifact(rows)
+    print(f"OK: bit-exact remote/serial parity across S={SHARD_COUNTS} x "
+          f"modes={MODES}; killed shard raised a typed error; stale "
+          f"snapshot rejected at handshake")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -176,6 +176,38 @@ def main() -> None:
           f"(mean occupancy {stats['mean_occupancy']:.1f}); "
           f"cache {service.cache_stats()['hit_rate']:.0%} hit rate")
 
+    # 11. Multi-host serving over sockets: when the catalogue outgrows one
+    #     host, each shard runs as its own server process (here two on
+    #     localhost; in production one per host via `repro shard-server
+    #     games.snap --shard-id I --num-shards S --port P`) serving its
+    #     mmap'd slice of the same snapshot.  The router fans every request
+    #     out over TCP and keeps the certified exact merge — results stay
+    #     bit-identical, and the tier fails closed: a dead shard raises a
+    #     typed RemoteShardError (never a silently truncated ranking) and a
+    #     shard serving a different snapshot is rejected at handshake.
+    #     Same flow on the CLI:
+    #       repro recommend --snapshot games.snap --executor remote \
+    #           --shard-addr host-a:9000 --shard-addr host-b:9000
+    from repro.engine import spawn_shard_server
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap_path = save_snapshot(Path(tmp) / "games.snap", service.index)
+        servers = [spawn_shard_server(snap_path, shard_id, 2)
+                   for shard_id in range(2)]
+        addresses = ["{}:{}".format(*address) for _, address in servers]
+        try:
+            with RecommendationService(snapshot=snap_path, executor="remote",
+                                       shard_addresses=addresses) as router:
+                remote_top5 = router.top_k(range(3), k=5)
+            assert (batch_top5 == remote_top5).all(), \
+                "remote serving must be bit-identical to in-memory serving"
+            print(f"remote-served results identical across 2 shard servers "
+                  f"({', '.join(addresses)})")
+        finally:
+            for process, _ in servers:
+                process.terminate()
+                process.join()
+
 
 if __name__ == "__main__":
     main()

@@ -10,6 +10,10 @@ The subcommands cover the common workflows:
                    fan-out) without touching the model at all.
 * ``snapshot``   — ``save`` a trained model's frozen serving state as a
                    memory-mappable artifact, or ``inspect`` an existing one.
+* ``shard-server`` — serve one shard of a snapshot over TCP; a router started
+                   with ``recommend --executor remote --shard-addr host:port``
+                   (one flag per shard, in shard order) fans requests out to
+                   these servers and merges bit-exactly.
 * ``experiment`` — run one of the paper's tables/figures by identifier.
 * ``models`` / ``datasets`` / ``experiments`` — list what is available.
 """
@@ -97,11 +101,20 @@ def build_parser() -> argparse.ArgumentParser:
                                 "blocks are memory-mapped zero-copy, so "
                                 "startup is O(open)")
     recommend.add_argument("--executor", default=None,
-                           choices=["serial", "threads", "process"],
+                           choices=["serial", "threads", "process", "remote"],
                            help="fan-out executor for --shards > 1: 'serial', "
-                                "'threads', or 'process' (worker processes "
+                                "'threads', 'process' (worker processes "
                                 "re-open the snapshot by offset — requires "
-                                "--snapshot; no matrices are pickled)")
+                                "--snapshot; no matrices are pickled), or "
+                                "'remote' (fan out over TCP to 'repro "
+                                "shard-server' processes — requires "
+                                "--snapshot and one --shard-addr per shard)")
+    recommend.add_argument("--shard-addr", action="append", default=None,
+                           metavar="HOST:PORT", dest="shard_addr",
+                           help="with --executor remote: a shard server's "
+                                "address; repeat once per shard, in shard "
+                                "order (--shards defaults to the number of "
+                                "addresses)")
     recommend.add_argument("--candidates", default=None,
                            choices=["int8", "float32"], dest="candidates",
                            help="serve through the two-stage pipeline: "
@@ -186,6 +199,32 @@ def build_parser() -> argparse.ArgumentParser:
     snap_inspect.add_argument("path", help="snapshot file to inspect")
     snap_inspect.add_argument("--json", action="store_true",
                               help="emit the header as JSON")
+
+    shard_server = subparsers.add_parser(
+        "shard-server",
+        help="serve one shard of a snapshot over TCP (consumed by "
+             "'recommend --executor remote')")
+    shard_server.add_argument("snapshot",
+                              help="serving snapshot file — must be a "
+                                   "byte-identical copy of the router's "
+                                   "(the handshake rejects anything else)")
+    shard_server.add_argument("--shard-id", type=int, required=True,
+                              metavar="I",
+                              help="which shard of the partition this server "
+                                   "holds (0-based)")
+    shard_server.add_argument("--num-shards", type=int, required=True,
+                              metavar="S",
+                              help="total number of shards in the partition")
+    shard_server.add_argument("--policy", default="contiguous",
+                              choices=["contiguous", "strided"],
+                              help="item partitioning policy (must match the "
+                                   "router's --shard-policy)")
+    shard_server.add_argument("--host", default="127.0.0.1",
+                              help="interface to bind (default 127.0.0.1; "
+                                   "use 0.0.0.0 for multi-host serving)")
+    shard_server.add_argument("--port", type=int, default=0,
+                              help="TCP port to bind (default 0 = ephemeral; "
+                                   "the bound address is printed at startup)")
 
     experiment = subparsers.add_parser("experiment", help="run a paper table/figure by identifier")
     experiment.add_argument("identifier", help="e.g. table3, fig6 (see 'repro experiments')")
@@ -334,6 +373,21 @@ def _command_recommend(args: argparse.Namespace) -> int:
     if args.executor == "process" and args.snapshot is None:
         raise SystemExit("error: --executor process ships snapshot offsets "
                          "to worker processes and requires --snapshot PATH")
+    if args.executor == "remote":
+        if args.snapshot is None:
+            raise SystemExit("error: --executor remote pins shard servers to "
+                             "the router's snapshot and requires --snapshot "
+                             "PATH")
+        if not args.shard_addr:
+            raise SystemExit("error: --executor remote needs one --shard-addr "
+                             "HOST:PORT per shard, in shard order")
+        if args.shards > 1 and args.shards != len(args.shard_addr):
+            raise SystemExit(f"error: --shards {args.shards} does not match "
+                             f"the {len(args.shard_addr)} --shard-addr "
+                             f"addresses given")
+    elif args.shard_addr:
+        raise SystemExit("error: --shard-addr names remote shard servers and "
+                         "requires --executor remote")
     if args.snapshot is not None and args.checkpoint is not None:
         raise SystemExit("error: --snapshot already holds frozen embeddings; "
                          "drop --checkpoint (or save a new snapshot from it)")
@@ -373,6 +427,7 @@ def _command_recommend(args: argparse.Namespace) -> int:
         engine_kwargs = dict(
             num_shards=args.shards, shard_policy=args.shard_policy,
             parallel=args.parallel, executor=args.executor,
+            shard_addresses=args.shard_addr,
             candidate_mode=args.candidates,
             candidate_factor=args.candidate_factor,
             candidate_escalation=args.adaptive_candidates,
@@ -455,6 +510,13 @@ def _command_recommend(args: argparse.Namespace) -> int:
         else:
             top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
                                 exclude_train=not args.include_train)
+    except RuntimeError as error:
+        from .engine import RemoteShardError
+        if isinstance(error, RemoteShardError):
+            # Fail closed with a readable message: an unreachable or stale
+            # shard must end the command, never truncate a ranking.
+            raise SystemExit(f"error: remote serving failed: {error}")
+        raise
     finally:
         close = getattr(service, "close", None)
         if close is not None:
@@ -467,8 +529,10 @@ def _command_recommend(args: argparse.Namespace) -> int:
         "dataset": None if args.snapshot is not None else args.dataset,
         "snapshot": args.snapshot,
         "executor": args.executor,
+        "shard_addresses": args.shard_addr,
         "k": args.top_k,
-        "shards": args.shards,
+        "shards": service.num_shards if args.executor == "remote"
+        else args.shards,
         "parallel": bool(args.parallel),
         "recommendations": {str(u): [int(i) for i in row]
                             for u, row in zip(users, top)},
@@ -607,6 +671,38 @@ def _command_snapshot_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_shard_server(args: argparse.Namespace) -> int:
+    if args.num_shards < 1:
+        raise SystemExit("error: --num-shards must be a positive integer")
+    if not 0 <= args.shard_id < args.num_shards:
+        raise SystemExit(f"error: --shard-id must be in "
+                         f"[0, {args.num_shards}), got {args.shard_id}")
+    if not 0 <= args.port < 65536:
+        raise SystemExit(f"error: --port must be in [0, 65536), "
+                         f"got {args.port}")
+    from .engine import ShardServer, SnapshotFormatError
+    try:
+        server = ShardServer(args.snapshot, args.shard_id, args.num_shards,
+                             policy=args.policy, host=args.host,
+                             port=args.port)
+    except (SnapshotFormatError, OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    host, port = server.address
+    print(f"shard {args.shard_id}/{args.num_shards} ({args.policy}) of "
+          f"{args.snapshot} — {server.shard_items} of {server.num_items} "
+          f"items, fingerprint {server.fingerprint}")
+    # Exact marker line consumed by launchers (the benchmark, scripts) to
+    # learn the bound ephemeral port; flush so a piped reader sees it now.
+    print(f"listening on {host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _command_experiment(args: argparse.Namespace) -> int:
     output = run_experiment(args.identifier, scale=resolve_scale(args.scale))
     # Results are lists of dicts or dicts of arrays; render something readable
@@ -637,6 +733,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_recommend(args)
     if args.command == "snapshot":
         return _command_snapshot(args)
+    if args.command == "shard-server":
+        return _command_shard_server(args)
     if args.command == "experiment":
         return _command_experiment(args)
     if args.command == "models":

@@ -74,6 +74,16 @@ models into a fast, reusable serving path:
   ``(snapshot path, shard id, user batch)``, never matrices).  Corrupted or
   version-skewed files are rejected with :class:`SnapshotFormatError`.
 
+* :class:`ShardServer` / :class:`RemoteExecutor` — the multi-host tier: one
+  TCP server process per shard, each holding its mmap'd slice of a
+  byte-identical snapshot copy, speaking a length-prefixed binary protocol
+  (no pickle on the wire).  :class:`RemoteExecutor` plugs the same payload
+  seam over sockets — protocol-version + snapshot-fingerprint handshake,
+  per-request timeouts, bounded retries with backoff — and the router keeps
+  the certified exact merge, so remote serving is bit-identical to the
+  serial oracle and *fails closed*: any unreachable/stale/faulty shard
+  raises :class:`RemoteShardError`, never a partial merge.
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
@@ -118,7 +128,16 @@ from .snapshot import (
     SnapshotFormatError,
     load_snapshot,
     save_snapshot,
+    snapshot_fingerprint,
     snapshot_info,
+)
+from .remote import (
+    PROTOCOL_VERSION,
+    RemoteExecutor,
+    RemoteProtocolError,
+    RemoteShardError,
+    ShardServer,
+    spawn_shard_server,
 )
 
 __all__ = [
@@ -142,6 +161,13 @@ __all__ = [
     "save_snapshot",
     "load_snapshot",
     "snapshot_info",
+    "snapshot_fingerprint",
+    "PROTOCOL_VERSION",
+    "ShardServer",
+    "RemoteExecutor",
+    "RemoteShardError",
+    "RemoteProtocolError",
+    "spawn_shard_server",
     "CANDIDATE_MODES",
     "CandidateIndex",
     "ShardedCandidateIndex",

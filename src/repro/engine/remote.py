@@ -1,0 +1,691 @@
+"""Multi-host shard serving: TCP shard servers + a socket-backed executor.
+
+The executor seam (:mod:`repro.engine.sharding`) already abstracts *where* a
+shard task runs: a payload-shipping executor receives task *descriptions*
+(``("top_k", users, k, …)``) instead of closures, executes them against its
+own mmap'd view of the snapshot file, and hands small per-shard candidate
+arrays back to the router, which keeps the certified exact S·k merge.  This
+module adds the last transport: the same payloads over a socket, so one
+catalogue spreads across hosts.
+
+* :class:`ShardServer` — one process, one shard.  Opens its slice of a
+  published snapshot (zero-copy, via the PR 6 worker cache) and serves exact
+  top-k and certified two-stage candidate payloads over a length-prefixed
+  binary protocol.  Router-side divergence (``user_block`` overrides after
+  online user growth, ``extra_pairs`` exclusions the file does not hold)
+  rides along with each request exactly as it does for the process executor,
+  so online serving over sockets stays bit-identical too.
+* :class:`RemoteExecutor` — ``ships_payloads`` executor bound to a list of
+  ``host:port`` addresses, one per shard.  Fans each request out to every
+  shard concurrently and returns results in shard order; the router's merge
+  is untouched.
+
+Failure semantics are *fail closed*: a request either reflects every shard
+or raises :class:`RemoteShardError` — a partial merge is never returned.
+Transport faults (connect refused, reset, timeout) are retried with
+exponential backoff up to ``max_retries`` times, reconnecting and
+re-handshaking each attempt; deterministic rejections (protocol version
+mismatch, wrong shard geometry, a shard serving a different snapshot file)
+are raised immediately.  The handshake pins protocol version and snapshot
+identity via :func:`repro.engine.snapshot.snapshot_fingerprint` — a
+content fingerprint, not an inode, so router and shard hosts need not share
+a filesystem, only a byte-identical snapshot file.
+
+Wire format (all integers little-endian)::
+
+    frame   := magic[4] body_len[u64] body
+    body    := meta_len[u32] meta_json[meta_len] array_bytes...
+    meta    := {"kind": str, "fields": {...}, "arrays": [
+                   {"name": str, "dtype": str, "shape": [int, ...]}, ...]}
+
+Array buffers are raw C-order bytes concatenated after the JSON header in
+declaration order — no pickling anywhere on the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import socket
+import socketserver
+import struct
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .sharding import PARTITION_POLICIES, _ExecutorBase
+from .snapshot import (
+    _execute_shard_payload,
+    _worker_shard,
+    snapshot_fingerprint,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteExecutor",
+    "RemoteProtocolError",
+    "RemoteShardError",
+    "ShardServer",
+    "parse_address",
+    "spawn_shard_server",
+]
+
+PROTOCOL_VERSION = 1
+
+_FRAME_MAGIC = b"RSHD"
+_FRAME = struct.Struct("<4sQ")  # magic, body length
+_META_LEN = struct.Struct("<I")
+
+# Sanity ceiling on a single frame (1 GiB).  A request is O(batch x dim) and
+# a reply O(batch x k); anything near this is a corrupt length prefix or a
+# foreign peer, and must not turn into an attempted multi-GiB allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class RemoteShardError(RuntimeError):
+    """A remote shard could not serve a request (fail-closed).
+
+    Raised by :class:`RemoteExecutor` when any shard is unreachable after
+    the bounded retries, rejects the handshake (stale snapshot, wrong
+    geometry, protocol mismatch), or reports a server-side failure.  The
+    router never falls back to a partial merge.
+    """
+
+
+class RemoteProtocolError(RemoteShardError):
+    """A peer sent bytes that do not parse as a protocol frame/message."""
+
+
+# ---------------------------------------------------------------------- #
+# Wire codec
+# ---------------------------------------------------------------------- #
+
+def encode_message(kind: str, fields: Optional[dict] = None,
+                   arrays: Optional[dict] = None) -> bytes:
+    """Serialise one protocol message to a framed byte string.
+
+    ``fields`` must be JSON-serialisable scalars; ``arrays`` maps names to
+    numpy arrays (``None`` values are dropped, signalling absence).
+    """
+    blocks = []
+    specs = []
+    for name, array in (arrays or {}).items():
+        if array is None:
+            continue
+        array = np.ascontiguousarray(array)
+        specs.append({"name": name, "dtype": array.dtype.str,
+                      "shape": list(array.shape)})
+        blocks.append(array.tobytes())
+    meta = json.dumps({"kind": kind, "fields": fields or {},
+                       "arrays": specs}).encode("utf-8")
+    body = b"".join([_META_LEN.pack(len(meta)), meta, *blocks])
+    return _FRAME.pack(_FRAME_MAGIC, len(body)) + body
+
+
+def decode_message(body: bytes) -> Tuple[str, dict, dict]:
+    """Parse a frame body back into ``(kind, fields, arrays)``."""
+    try:
+        if len(body) < _META_LEN.size:
+            raise ValueError("truncated body")
+        (meta_len,) = _META_LEN.unpack_from(body, 0)
+        offset = _META_LEN.size + meta_len
+        if offset > len(body):
+            raise ValueError("meta length exceeds body")
+        meta = json.loads(body[_META_LEN.size:offset].decode("utf-8"))
+        kind = meta["kind"]
+        fields = meta["fields"]
+        arrays = {}
+        for spec in meta["arrays"]:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(int(dim) for dim in spec["shape"])
+            count = math.prod(shape)
+            nbytes = count * dtype.itemsize
+            if offset + nbytes > len(body):
+                raise ValueError(f"array {spec['name']!r} exceeds body")
+            arrays[spec["name"]] = np.frombuffer(
+                body, dtype=dtype, count=count, offset=offset).reshape(shape)
+            offset += nbytes
+        return kind, fields, arrays
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as error:
+        raise RemoteProtocolError(f"malformed protocol message: {error}") \
+            from error
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        chunk = sock.recv(min(count - len(chunks), 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-message")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def _recv_message(sock: socket.socket) -> Tuple[str, dict, dict]:
+    """Read one framed message off a socket."""
+    header = _recv_exact(sock, _FRAME.size)
+    magic, body_len = _FRAME.unpack(header)
+    if magic != _FRAME_MAGIC:
+        raise RemoteProtocolError(
+            f"bad frame magic {magic!r}; peer is not a repro shard endpoint")
+    if body_len > MAX_FRAME_BYTES:
+        raise RemoteProtocolError(
+            f"frame of {body_len} bytes exceeds the {MAX_FRAME_BYTES} cap")
+    return decode_message(_recv_exact(sock, body_len))
+
+
+def parse_address(address) -> Tuple[str, int]:
+    """Normalise ``"host:port"`` (or an ``(host, port)`` pair) to a tuple."""
+    if isinstance(address, (tuple, list)):
+        if len(address) != 2:
+            raise ValueError(f"address pair must be (host, port): {address!r}")
+        host, port = address
+    else:
+        text = str(address).strip()
+        host, sep, port = text.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"shard address must look like host:port, got {address!r}")
+    try:
+        port = int(port)
+    except (TypeError, ValueError):
+        raise ValueError(f"invalid port in shard address {address!r}") \
+            from None
+    if not 0 < port < 65536:
+        raise ValueError(f"port out of range in shard address {address!r}")
+    return str(host), port
+
+
+# ---------------------------------------------------------------------- #
+# Server side
+# ---------------------------------------------------------------------- #
+
+class _ShardTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _ShardRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: handshake first, then request/reply until EOF."""
+
+    def handle(self) -> None:
+        owner: ShardServer = self.server.owner  # type: ignore[attr-defined]
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        handshaken = False
+        while True:
+            try:
+                kind, fields, arrays = _recv_message(sock)
+            except (ConnectionError, RemoteProtocolError, OSError):
+                return  # peer went away or is speaking another protocol
+            if owner.request_delay_s > 0.0:
+                time.sleep(owner.request_delay_s)
+            close_after = False
+            try:
+                if kind == "handshake":
+                    reply, accepted = owner._handshake_reply(fields)
+                    handshaken = accepted
+                    close_after = not accepted
+                elif not handshaken:
+                    reply = encode_message("error", {
+                        "message": "handshake required before requests"})
+                    close_after = True
+                elif kind == "ping":
+                    reply = encode_message("pong", {"shard_id": owner.shard_id})
+                elif kind in ("top_k", "candidates"):
+                    reply = owner._execute(kind, fields, arrays)
+                else:
+                    reply = encode_message("error", {
+                        "message": f"unknown request kind {kind!r}"})
+            except Exception as error:  # noqa: BLE001 - ship it to the client
+                reply = encode_message("error", {
+                    "message": f"{type(error).__name__}: {error}"})
+            try:
+                sock.sendall(reply)
+            except OSError:
+                return
+            if close_after:
+                return
+
+
+class ShardServer:
+    """Serve one shard of a published snapshot over TCP.
+
+    One server process holds one shard: at construction it opens its slice
+    of ``snapshot_path`` through the shared worker cache (so launch fails
+    fast on a missing/corrupt file) and then answers ``top_k`` /
+    ``candidates`` payloads exactly as a process-pool worker would — same
+    cache, same divergence shipping, same republish detection.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction.  ``start()`` serves from a daemon thread (tests, embedded
+    use); ``serve_forever()`` blocks (the CLI).  ``request_delay_s`` is a
+    fault-injection hook for tests/benchmarks: it stalls every request by
+    that many seconds so client-side timeout/retry paths can be exercised
+    deterministically.
+    """
+
+    def __init__(self, snapshot_path, shard_id: int, num_shards: int, *,
+                 policy: str = "contiguous", host: str = "127.0.0.1",
+                 port: int = 0, request_delay_s: float = 0.0) -> None:
+        self.snapshot_path = str(snapshot_path)
+        self.num_shards = int(num_shards)
+        self.shard_id = int(shard_id)
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if not 0 <= self.shard_id < self.num_shards:
+            raise ValueError(f"shard_id {self.shard_id} out of range for "
+                             f"{self.num_shards} shards")
+        if policy not in PARTITION_POLICIES:
+            raise ValueError(f"unknown partition policy {policy!r}; "
+                             f"options: {PARTITION_POLICIES}")
+        self.policy = policy
+        self.request_delay_s = float(request_delay_s)
+        # Fail fast: fingerprint + shard slice both validate the file now,
+        # not on the first remote request.
+        self.fingerprint = snapshot_fingerprint(self.snapshot_path)
+        shard, user_embeddings, snapshot, _ = _worker_shard(
+            self.snapshot_path, self.num_shards, self.policy, self.shard_id)
+        self.num_users = int(user_embeddings.shape[0])
+        self.num_items = int(snapshot.num_items)
+        self.shard_items = int(shard.item_ids.size)
+        self.requests_served = 0
+        self._count_lock = threading.Lock()
+        self._server = _ShardTCPServer((host, int(port)), _ShardRequestHandler)
+        self._server.owner = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — resolved even when ``port=0``."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ShardServer":
+        """Serve from a background daemon thread; returns ``self``."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name=f"shard-server-{self.shard_id}", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._server.serve_forever()
+
+    def close(self) -> None:
+        """Stop serving and release the listening socket (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    stop = close
+
+    def __enter__(self) -> "ShardServer":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return (f"ShardServer({self.snapshot_path!r}, "
+                f"shard {self.shard_id}/{self.num_shards} {self.policy!r}, "
+                f"{host}:{port})")
+
+    # -- request handling ----------------------------------------------- #
+
+    def _handshake_reply(self, fields: dict) -> Tuple[bytes, bool]:
+        """Validate a client handshake; returns ``(reply, accepted)``."""
+        def reject(message: str) -> Tuple[bytes, bool]:
+            return encode_message("error", {"message": message}), False
+
+        protocol = fields.get("protocol")
+        if protocol != PROTOCOL_VERSION:
+            return reject(f"protocol version mismatch: server speaks "
+                          f"{PROTOCOL_VERSION}, client sent {protocol!r}")
+        for key, mine in (("shard_id", self.shard_id),
+                          ("num_shards", self.num_shards),
+                          ("policy", self.policy)):
+            theirs = fields.get(key)
+            if theirs != mine:
+                return reject(f"shard geometry mismatch: this server holds "
+                              f"{key}={mine!r}, client expects {theirs!r}")
+        # Re-fingerprint on every handshake: a snapshot republished over this
+        # server's path since launch must be detected, not silently served
+        # against a router that saved something else.
+        current = snapshot_fingerprint(self.snapshot_path)
+        expected = fields.get("fingerprint")
+        if expected is not None and expected != current:
+            return reject(
+                f"snapshot identity mismatch: server file {current} != "
+                f"router file {expected} (stale shard snapshot?)")
+        reply = encode_message("handshake_ok", {
+            "protocol": PROTOCOL_VERSION, "shard_id": self.shard_id,
+            "num_shards": self.num_shards, "policy": self.policy,
+            "fingerprint": current, "num_users": self.num_users,
+            "num_items": self.num_items, "shard_items": self.shard_items})
+        return reply, True
+
+    def _execute(self, kind: str, fields: dict, arrays: dict) -> bytes:
+        """Decode a request into a worker payload, run it, frame the reply."""
+        users = np.ascontiguousarray(arrays["users"], dtype=np.int64)
+        user_block = arrays.get("user_block")
+        extra = None
+        if "extra_rows" in arrays:
+            extra = (np.ascontiguousarray(arrays["extra_rows"]),
+                     np.ascontiguousarray(arrays["extra_cols"]))
+        prefix = (kind, self.snapshot_path, self.num_shards, self.policy,
+                  self.shard_id)
+        if kind == "top_k":
+            payload = prefix + (users, int(fields["k"]),
+                                bool(fields["exclude_train"]), user_block,
+                                extra)
+            ids, scores = _execute_shard_payload(payload)
+            reply = encode_message("top_k_result", {},
+                                   {"ids": ids, "scores": scores})
+        else:
+            payload = prefix + (users, int(fields["num_candidates"]),
+                                fields["mode"], bool(fields["exclude_train"]),
+                                user_block, extra)
+            ids, scores, thresholds = _execute_shard_payload(payload)
+            reply = encode_message("candidates_result", {},
+                                   {"ids": ids, "scores": scores,
+                                    "thresholds": thresholds})
+        with self._count_lock:
+            self.requests_served += 1
+        return reply
+
+
+# ---------------------------------------------------------------------- #
+# Client side
+# ---------------------------------------------------------------------- #
+
+class RemoteExecutor(_ExecutorBase):
+    """Fan shard payloads out to :class:`ShardServer` endpoints over TCP.
+
+    Address ``i`` must serve shard ``i`` of ``num_shards = len(addresses)``
+    under ``policy`` — the handshake enforces exactly that, plus protocol
+    version and (when ``snapshot_path``/``fingerprint`` is given) snapshot
+    content identity, so a shard serving a stale file is rejected before a
+    single payload is merged.
+
+    Connections are persistent (one per shard, re-established transparently
+    after transport faults) and requests fan out concurrently from a small
+    thread pool.  ``fan_out`` returns per-shard results in shard order or
+    raises :class:`RemoteShardError`; it never returns a subset.
+    """
+
+    parallel = True
+    ships_payloads = True
+    is_remote = True
+
+    def __init__(self, addresses: Sequence, *, snapshot_path=None,
+                 fingerprint: Optional[str] = None,
+                 policy: str = "contiguous", timeout: float = 10.0,
+                 max_retries: int = 2, retry_backoff: float = 0.05) -> None:
+        self.addresses = [parse_address(address) for address in addresses]
+        if not self.addresses:
+            raise ValueError("RemoteExecutor needs at least one shard address")
+        self.num_shards = len(self.addresses)
+        if policy not in PARTITION_POLICIES:
+            raise ValueError(f"unknown partition policy {policy!r}; "
+                             f"options: {PARTITION_POLICIES}")
+        self.policy = policy
+        self.timeout = float(timeout)
+        if self.timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        self.max_retries = int(max_retries)
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.retry_backoff = float(retry_backoff)
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if fingerprint is None and snapshot_path is not None:
+            fingerprint = snapshot_fingerprint(snapshot_path)
+        self.snapshot_path = None if snapshot_path is None \
+            else str(snapshot_path)
+        self.fingerprint = fingerprint
+        self._socks: list = [None] * self.num_shards
+        self._locks = [threading.Lock() for _ in range(self.num_shards)]
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
+
+    # -- executor seam -------------------------------------------------- #
+
+    def bind_check(self, num_shards: int, policy: str) -> None:
+        """Reject binding to an index whose geometry the shards don't hold."""
+        if num_shards != self.num_shards or policy != self.policy:
+            raise ValueError(
+                f"RemoteExecutor is bound to {self.num_shards} "
+                f"{self.policy!r} shards at {self._address_text()}; cannot "
+                f"serve {num_shards} {policy!r} shards")
+
+    def run(self, tasks: Sequence) -> list:
+        raise TypeError(
+            "RemoteExecutor ships shard payloads over sockets, not "
+            "in-process closures; use it through a ShardedInferenceIndex "
+            "built over the same snapshot")
+
+    def fan_out(self, kind: str, *request) -> list:
+        """Send one request per shard; results come back in shard order.
+
+        Raises :class:`RemoteShardError` if *any* shard cannot answer —
+        the caller never sees a partial result set.
+        """
+        if self._closed:
+            raise RemoteShardError("RemoteExecutor is closed")
+        # Every shard receives the identical request (shard identity lives
+        # in the connection handshake), so encode exactly once.
+        message = self._encode_request(kind, request)
+        if self.num_shards == 1:
+            return [self._request(0, message)]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="remote-fan-out")
+        futures = [self._pool.submit(self._request, shard_id, message)
+                   for shard_id in range(self.num_shards)]
+        results, failure = [], None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except Exception as error:  # noqa: BLE001 - re-raised below
+                if failure is None:
+                    failure = error
+        if failure is not None:
+            raise failure
+        return results
+
+    def close(self) -> None:
+        """Drop every shard connection and the fan-out pool (idempotent)."""
+        self._closed = True
+        for shard_id, lock in enumerate(self._locks):
+            with lock:
+                self._drop(shard_id)
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (f"RemoteExecutor([{self._address_text()}], "
+                f"shards={self.num_shards}, policy={self.policy!r}, "
+                f"timeout={self.timeout}, max_retries={self.max_retries})")
+
+    # -- transport ------------------------------------------------------ #
+
+    def _address_text(self) -> str:
+        return ", ".join(f"{host}:{port}" for host, port in self.addresses)
+
+    @staticmethod
+    def _encode_request(kind: str, request: tuple) -> bytes:
+        if kind == "top_k":
+            users, k, exclude_train, user_block, extra = request
+            fields = {"k": int(k), "exclude_train": bool(exclude_train)}
+        elif kind == "candidates":
+            users, num_candidates, mode, exclude_train, user_block, extra \
+                = request
+            fields = {"num_candidates": int(num_candidates), "mode": mode,
+                      "exclude_train": bool(exclude_train)}
+        else:
+            raise ValueError(f"unknown shard payload kind {kind!r}")
+        arrays = {"users": np.asarray(users, dtype=np.int64),
+                  "user_block": user_block}
+        if extra is not None:
+            arrays["extra_rows"], arrays["extra_cols"] = extra
+        return encode_message(kind, fields, arrays)
+
+    def _connect(self, shard_id: int) -> socket.socket:
+        """The persistent (handshaken) socket for one shard, dialing if
+        needed.  Caller holds the shard lock."""
+        sock = self._socks[shard_id]
+        if sock is not None:
+            return sock
+        host, port = self.addresses[shard_id]
+        sock = socket.create_connection((host, port), timeout=self.timeout)
+        try:
+            sock.settimeout(self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.sendall(encode_message("handshake", {
+                "protocol": PROTOCOL_VERSION, "shard_id": shard_id,
+                "num_shards": self.num_shards, "policy": self.policy,
+                "fingerprint": self.fingerprint}))
+            kind, fields, _ = _recv_message(sock)
+        except BaseException:
+            sock.close()
+            raise
+        if kind == "error":
+            # Deterministic rejection (stale snapshot, bad geometry,
+            # protocol skew): raise RemoteShardError, which the retry loop
+            # deliberately does not catch.
+            sock.close()
+            raise RemoteShardError(
+                f"shard {shard_id} at {host}:{port} rejected the handshake: "
+                f"{fields.get('message', 'no reason given')}")
+        if kind != "handshake_ok":
+            sock.close()
+            raise RemoteProtocolError(
+                f"shard {shard_id} at {host}:{port} answered the handshake "
+                f"with {kind!r}")
+        self._socks[shard_id] = sock
+        return sock
+
+    def _drop(self, shard_id: int) -> None:
+        sock = self._socks[shard_id]
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never really fails
+                pass
+            self._socks[shard_id] = None
+
+    def _request(self, shard_id: int, message: bytes):
+        """One request/reply round trip with bounded reconnect-and-retry."""
+        host, port = self.addresses[shard_id]
+        last_error: Optional[BaseException] = None
+        for attempt in range(self.max_retries + 1):
+            if attempt and self.retry_backoff:
+                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
+            try:
+                with self._locks[shard_id]:
+                    sock = self._connect(shard_id)
+                    sock.sendall(message)
+                    kind, fields, arrays = _recv_message(sock)
+            except RemoteProtocolError as error:
+                # Transport desync (garbled frame): as unusable as a reset.
+                with self._locks[shard_id]:
+                    self._drop(shard_id)
+                last_error = error
+                continue
+            except RemoteShardError:
+                # Deterministic rejection from _connect — not retryable.
+                raise
+            except OSError as error:
+                # Transport fault: the connection (and anything buffered on
+                # it) is unusable.  Drop it and retry from a clean dial.
+                with self._locks[shard_id]:
+                    self._drop(shard_id)
+                last_error = error
+                continue
+            if kind == "error":
+                # The shard ran the request and failed deterministically —
+                # retrying would re-fail identically.
+                raise RemoteShardError(
+                    f"shard {shard_id} at {host}:{port} failed: "
+                    f"{fields.get('message', 'no reason given')}")
+            return self._decode_result(shard_id, kind, arrays)
+        raise RemoteShardError(
+            f"shard {shard_id} at {host}:{port} unreachable after "
+            f"{self.max_retries + 1} attempt(s): {last_error}") from last_error
+
+    def _decode_result(self, shard_id: int, kind: str, arrays: dict):
+        if kind == "top_k_result":
+            return arrays["ids"], arrays["scores"]
+        if kind == "candidates_result":
+            return arrays["ids"], arrays["scores"], arrays["thresholds"]
+        raise RemoteProtocolError(
+            f"shard {shard_id} sent unexpected reply kind {kind!r}")
+
+
+# ---------------------------------------------------------------------- #
+# Process-spawn helper (tests + benchmarks)
+# ---------------------------------------------------------------------- #
+
+def _serve_shard_process(snapshot_path: str, shard_id: int, num_shards: int,
+                         policy: str, host: str, request_delay_s: float,
+                         conn) -> None:  # pragma: no cover - child process
+    server = ShardServer(snapshot_path, shard_id, num_shards, policy=policy,
+                         host=host, port=0, request_delay_s=request_delay_s)
+    conn.send(server.address)
+    conn.close()
+    server.serve_forever()
+
+
+def spawn_shard_server(snapshot_path, shard_id: int, num_shards: int, *,
+                       policy: str = "contiguous", host: str = "127.0.0.1",
+                       request_delay_s: float = 0.0, start_timeout: float = 30.0):
+    """Launch a :class:`ShardServer` in its own process.
+
+    Returns ``(process, (host, port))`` once the child has bound its
+    ephemeral port.  The child is a daemon: killing it (fault injection) or
+    letting the parent exit reaps it.  Production deployments use the
+    ``repro shard-server`` CLI instead; this helper exists so tests and
+    benchmarks can exercise true process isolation cheaply.
+    """
+    import multiprocessing
+
+    parent_conn, child_conn = multiprocessing.Pipe()
+    process = multiprocessing.Process(
+        target=_serve_shard_process,
+        args=(str(snapshot_path), int(shard_id), int(num_shards), policy,
+              host, float(request_delay_s), child_conn),
+        daemon=True)
+    process.start()
+    child_conn.close()
+    if not parent_conn.poll(start_timeout):
+        process.terminate()
+        raise RemoteShardError(
+            f"shard server {shard_id}/{num_shards} did not come up within "
+            f"{start_timeout}s")
+    try:
+        address = parent_conn.recv()
+    except EOFError:
+        raise RemoteShardError(
+            f"shard server {shard_id}/{num_shards} died during startup "
+            f"(exit code {process.exitcode})") from None
+    finally:
+        parent_conn.close()
+    return process, address

@@ -28,6 +28,13 @@ service is O(open) regardless of catalogue size, and ``executor="process"``
 fans sharded requests out to worker processes that re-open the same file
 instead of receiving pickled matrices.  Serving from a snapshot is
 bit-identical to serving from the index it was saved from.
+
+With ``executor="remote"`` (plus ``shard_addresses=["host:port", …]``) the
+same payloads cross machine boundaries instead: each address is a
+:class:`repro.engine.remote.ShardServer` holding a byte-identical copy of
+the snapshot, pinned by a content-fingerprint handshake, and the router
+keeps the exact merge — remote serving is bit-identical and fails closed
+(a :class:`repro.engine.remote.RemoteShardError`, never a partial merge).
 """
 
 from __future__ import annotations
@@ -48,7 +55,7 @@ __all__ = ["EXECUTOR_NAMES", "RecommendationService"]
 
 #: Executor spellings accepted by ``RecommendationService(executor=…)`` and
 #: the CLI's ``--executor`` flag.
-EXECUTOR_NAMES = ("serial", "threads", "process")
+EXECUTOR_NAMES = ("serial", "threads", "process", "remote")
 
 
 class RecommendationService:
@@ -86,12 +93,21 @@ class RecommendationService:
     executor:
         Explicit fan-out executor (overrides ``parallel``): any object with
         ``run(tasks) -> results`` and ``close()``, or one of the
-        ``EXECUTOR_NAMES`` strings — ``"serial"``, ``"threads"``, or
+        ``EXECUTOR_NAMES`` strings — ``"serial"``, ``"threads"``,
         ``"process"`` (multi-process fan-out; requires ``snapshot=…`` because
         worker processes re-open the snapshot file instead of receiving
-        pickled matrices).  The service owns the executor it resolves from a
-        string or builds from ``parallel`` and shuts it down in
+        pickled matrices) or ``"remote"`` (socket fan-out to
+        :class:`repro.engine.remote.ShardServer` endpoints; requires
+        ``snapshot=…`` and ``shard_addresses``).  With ``num_shards == 1``
+        and no remote addresses a string executor is never constructed at
+        all — single-shard serving stays on the single-matrix path and never
+        crosses the fan-out seam.  The service owns the executor it resolves
+        from a string or builds from ``parallel`` and shuts it down in
         :meth:`close` / ``with`` exit.
+    shard_addresses:
+        ``host:port`` shard-server addresses, one per shard *in shard
+        order*, for ``executor="remote"`` (implied when given).
+        ``num_shards`` left at 1 is inferred as ``len(shard_addresses)``.
     candidate_mode:
         ``None`` (default) serves exact top-K.  ``"int8"`` / ``"float32"``
         switch top-K to the two-stage quantised-candidates + exact-rescoring
@@ -116,7 +132,8 @@ class RecommendationService:
                  dtype=np.float64, batch_size: int = 1024,
                  cache_size: int = 4096, num_shards: int = 1,
                  shard_policy: str = "contiguous", parallel: bool = False,
-                 executor=None, candidate_mode: Optional[str] = None,
+                 executor=None, shard_addresses=None,
+                 candidate_mode: Optional[str] = None,
                  candidate_factor: int = 4,
                  candidate_escalation: bool = False,
                  max_candidate_factor: int = 32) -> None:
@@ -154,15 +171,49 @@ class RecommendationService:
         if (candidate_mode is not None
                 and self.max_candidate_factor < self.candidate_factor):
             raise ValueError("max_candidate_factor must be >= candidate_factor")
+        self.shard_addresses = None if shard_addresses is None else \
+            [str(address) for address in shard_addresses]
+        if self.shard_addresses is not None:
+            if not self.shard_addresses:
+                raise ValueError("shard_addresses must name at least one "
+                                 "shard server")
+            if executor is None:
+                executor = "remote"
+            elif executor != "remote":
+                raise ValueError("shard_addresses fan requests out over "
+                                 "sockets and only applies to "
+                                 "executor='remote'")
         if isinstance(executor, str):
-            executor = self._resolve_executor(executor)
+            if executor not in EXECUTOR_NAMES:
+                raise ValueError(f"unknown executor {executor!r}; "
+                                 f"options: {EXECUTOR_NAMES}")
+            if executor == "process" and self._snapshot is None:
+                raise ValueError(
+                    "executor='process' ships (snapshot path, shard id, user "
+                    "batch) payloads to worker processes and requires "
+                    "snapshot=…")
+            if executor == "remote":
+                executor = self._resolve_remote_executor()
+            elif self.num_shards == 1:
+                # Single-shard serving never crosses the fan-out seam, so
+                # there is no pool to build — requests go straight to the
+                # single-matrix path below.
+                executor = None
+            else:
+                executor = self._resolve_executor(executor)
+        if getattr(executor, "is_remote", False) and self.num_shards == 1:
+            # One address per shard: a remote geometry is authoritative even
+            # when num_shards was left at its default.
+            self.num_shards = int(executor.num_shards)
         self._executor = executor if executor is not None else (
             ThreadedExecutor() if parallel else SerialExecutor())
         self._model = model
         self._split = split
         self._dtype = dtype
         self._sharded: Optional[ShardedInferenceIndex] = None
-        if self.num_shards > 1:
+        if self.num_shards > 1 or getattr(self._executor, "is_remote", False):
+            # A remote executor always serves through the fan-out seam —
+            # even a single shard lives behind its socket.
             self._sharded = ShardedInferenceIndex.from_index(
                 index, self.num_shards, policy=shard_policy,
                 executor=self._executor)
@@ -193,8 +244,28 @@ class RecommendationService:
                     "snapshot=…")
             return ProcessExecutor(self._snapshot.path, self.num_shards,
                                    policy=self.shard_policy)
+        if name == "remote":
+            return self._resolve_remote_executor()
         raise ValueError(f"unknown executor {name!r}; "
                          f"options: {EXECUTOR_NAMES}")
+
+    def _resolve_remote_executor(self):
+        """A :class:`RemoteExecutor` over ``shard_addresses``, fingerprint-
+        pinned to this service's snapshot."""
+        if self._snapshot is None:
+            raise ValueError(
+                "executor='remote' pins shard servers to this router's "
+                "snapshot via a content-fingerprint handshake and requires "
+                "snapshot=…")
+        if not self.shard_addresses:
+            raise ValueError(
+                "executor='remote' needs shard_addresses=['host:port', …] — "
+                "one shard-server address per shard, in shard order")
+        from .remote import RemoteExecutor
+
+        return RemoteExecutor(self.shard_addresses,
+                              snapshot_path=self._snapshot.path,
+                              policy=self.shard_policy)
 
     def _build_candidates(self):
         """The two-stage backend for the current snapshot (or ``None``)."""
@@ -302,9 +373,10 @@ class RecommendationService:
             # would silently fan requests out to stale matrices.
             raise ValueError(
                 "refresh() cannot serve re-frozen embeddings through a "
-                "process executor: its workers map the superseded snapshot "
-                "file. Publish a new snapshot and build a fresh service, or "
-                "serve with an in-process executor.")
+                "payload-shipping executor (process or remote): its workers "
+                "map the superseded snapshot file. Publish a new snapshot "
+                "and build a fresh service, or serve with an in-process "
+                "executor.")
         self.index = fresh
         # A refresh from a model supersedes the on-disk snapshot: its stored
         # blocks no longer match the serving embeddings, so stop adopting it.

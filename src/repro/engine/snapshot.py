@@ -173,6 +173,14 @@ def save_snapshot(path, index: InferenceIndex, *,
         }
         offset += array.nbytes
 
+    # Digest of every section's bytes.  The preamble's header CRC covers the
+    # header bytes — including this field — so two snapshots share a header
+    # CRC iff their *content* matches, which is what the remote-serving
+    # fingerprint handshake relies on (same-shape retrains must not collide).
+    content_crc = 0
+    for array in sections.values():
+        content_crc = zlib.crc32(memoryview(array).cast("B"), content_crc)
+
     header = {
         "format_version": SNAPSHOT_VERSION,
         "num_users": index.num_users,
@@ -181,6 +189,7 @@ def save_snapshot(path, index: InferenceIndex, *,
         "dtype": index.dtype.name,
         "candidate_modes": list(dict.fromkeys(candidate_modes)),
         "has_exclusion": exclusion is not None,
+        "content_crc32": content_crc,
         "metadata": dict(metadata or {}),
         "sections": table,
     }
@@ -280,6 +289,35 @@ def snapshot_info(path) -> dict:
     """The validated header of a snapshot (id space, dtype, section table)."""
     header, _ = _read_header(Path(path))
     return header
+
+
+def snapshot_fingerprint(path) -> str:
+    """A content fingerprint of a snapshot file, cheap enough to re-check.
+
+    Format version + header CRC + file size, read from the preamble alone
+    (no section I/O).  Unlike :func:`_snapshot_identity`'s ``(inode,
+    mtime)`` — which distinguishes *republishes of the same path on one
+    host* — this identifies the *content*, so a router and a shard server
+    on different machines agree iff they hold byte-identical snapshots.
+    The header CRC covers the section table, the metadata *and* the
+    ``content_crc32`` digest of every section's bytes, so any regenerated
+    snapshot — even a same-shape retrain — yields a new fingerprint.  Used
+    by the remote-serving handshake to reject a shard serving a stale file.
+    """
+    path = Path(path)
+    try:
+        handle = open(path, "rb")
+    except OSError as error:
+        raise SnapshotFormatError(f"cannot read snapshot: {error}") from error
+    with handle:
+        preamble = handle.read(_PREAMBLE.size)
+        if len(preamble) < _PREAMBLE.size:
+            raise SnapshotFormatError(f"{path}: too short to be a snapshot")
+        magic, version, _, header_crc = _PREAMBLE.unpack(preamble)
+        if magic != SNAPSHOT_MAGIC:
+            raise SnapshotFormatError(f"{path}: not a repro serving snapshot")
+        size = os.fstat(handle.fileno()).st_size
+    return f"v{version}:{header_crc:08x}:{size}"
 
 
 def load_snapshot(path, *, mmap: bool = True) -> "ServingSnapshot":

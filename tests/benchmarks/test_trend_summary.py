@@ -1,0 +1,102 @@
+"""Unit tests for the CI job-summary trend table (``trend_summary.py``)."""
+
+import json
+
+from benchmarks.trend_summary import (
+    KEY_METRICS,
+    _aggregate,
+    build_table,
+    load_documents,
+    main,
+)
+
+
+def _doc(benchmark, results, **extra):
+    document = {"benchmark": benchmark, "preset": "tiny",
+                "git_sha": "abcdef0123456789", "results": results}
+    document.update(extra)
+    return document
+
+
+class TestAggregate:
+    def test_numeric_aggregations(self):
+        assert _aggregate([1, 3.0, 2], "max") == 3.0
+        assert _aggregate([1, 3.0, 2], "min") == 1.0
+        assert _aggregate([1, 3.0, 2], "mean") == 2.0
+
+    def test_all_is_boolean_and(self):
+        assert _aggregate([True, 1, "yes"], "all") is True
+        assert _aggregate([True, False], "all") is False
+
+
+class TestBuildTable:
+    def test_known_benchmark_rows(self):
+        table = build_table([_doc("bench_remote_serving", [
+            {"users_per_s": 1500.0, "killed_shard_typed_error": True,
+             "stale_snapshot_rejected": True},
+            {"users_per_s": 900.0, "killed_shard_typed_error": True,
+             "stale_snapshot_rejected": True},
+        ])])
+        assert "| benchmark | key metric | value | floor / gate |" in table
+        assert "remote users/s (max) | 1,500" in table
+        assert "killed shard fails closed (all) | yes" in table
+        assert "stale snapshot rejected (all) | yes" in table
+        assert "preset: `tiny`" in table
+        assert "commit `abcdef012345`" in table
+
+    def test_failed_boolean_renders_loudly(self):
+        table = build_table([_doc("bench_remote_serving", [
+            {"killed_shard_typed_error": False}])])
+        assert "killed shard fails closed (all) | NO" in table
+
+    def test_unknown_benchmark_falls_back_to_row_count(self):
+        table = build_table([_doc("bench_future_thing", [{"x": 1}, {"x": 2}])])
+        assert "| future_thing | result rows | 2 | — |" in table
+
+    def test_missing_keys_skip_metric_not_benchmark(self):
+        # Schema drift: none of the known keys present -> fallback row.
+        table = build_table([_doc("bench_sharded_serving", [{"novel": 1}])])
+        assert "| sharded_serving | result rows | 1 | — |" in table
+
+    def test_single_dict_results_payload(self):
+        table = build_table([_doc("bench_sharded_serving",
+                                  {"users_per_s": 10.0})])
+        assert "best users/s (max) | 10 " in table
+
+    def test_empty_directory_message(self):
+        assert "No benchmark artifacts found" in build_table([])
+
+    def test_every_metric_spec_is_well_formed(self):
+        for benchmark, metrics in KEY_METRICS.items():
+            assert benchmark.startswith("bench_")
+            for label, key, how, floor in metrics:
+                assert how in ("max", "min", "mean", "all"), (benchmark, key)
+                assert label and key and floor
+
+
+class TestLoadAndMain:
+    def test_loads_only_artifact_documents(self, tmp_path):
+        (tmp_path / "good.json").write_text(json.dumps(
+            _doc("bench_async_frontend", [{"speedup": 2.5, "p99_ms": 3.0}])))
+        (tmp_path / "not-artifact.json").write_text(json.dumps({"rows": []}))
+        (tmp_path / "broken.json").write_text("{nope")
+        documents = load_documents(tmp_path)
+        assert [doc["benchmark"] for doc in documents] == \
+            ["bench_async_frontend"]
+
+    def test_main_prints_table(self, tmp_path, capsys):
+        (tmp_path / "a.json").write_text(json.dumps(
+            _doc("bench_engine_throughput",
+                 [{"speedup": 6.0, "max_metric_diff": 0.0}])))
+        assert main(["trend_summary.py", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "### Benchmark trend" in out
+        assert "speedup vs reference (max) | 6 " in out
+        assert "metric drift (max) | 0 " in out
+
+    def test_main_tolerates_missing_directory(self, tmp_path, capsys):
+        assert main(["trend_summary.py", str(tmp_path / "absent")]) == 0
+        assert "No benchmark artifacts found" in capsys.readouterr().out
+
+    def test_main_usage_error(self, capsys):
+        assert main(["trend_summary.py"]) == 2
