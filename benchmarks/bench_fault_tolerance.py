@@ -1,0 +1,331 @@
+"""Benchmark — fault-tolerant serving: replica failover + WAL crash recovery.
+
+Builds a serving snapshot, spreads it over 2 shards x 2 replica *processes*
+(true process isolation via ``spawn_shard_server``: a killed replica is a
+dead PID, not a closed socket), and gates three availability claims:
+
+* **Failover (gated).**  With one replica of every shard killed mid-traffic,
+  every request must still succeed (availability 1.0) and every answer must
+  stay *bit-exact* with the serial in-memory oracle — failover never changes
+  results, it only changes which replica computes them.  At least one
+  failover per killed shard must actually have happened (the gate proves the
+  faults were real, not that the kills missed).
+* **Fail-closed (gated).**  Once a shard's *entire* replica set is dead, the
+  next request must raise a typed ``RemoteShardError`` — never a silently
+  truncated merge.
+* **WAL recovery (gated).**  Ingest batches into a WAL-backed online
+  service, crash it mid-append (a deterministic torn write from a seeded
+  ``FaultPlan``), then recover by constructing a fresh service over the same
+  log.  Every *acknowledged* batch must be replayed — serving bit-identical
+  to an uncrashed oracle — the torn batch must be dropped, and recovery must
+  finish inside ``RECOVERY_BUDGET_S``.
+
+Environment knobs: ``REPRO_BENCH_DATASET`` (e.g. ``tiny`` for the CI smoke
+run) and ``REPRO_BENCH_JSON`` (artifact directory, see ``artifacts.py``).
+
+Run stand-alone with ``python benchmarks/bench_fault_tolerance.py`` or via
+pytest: ``pytest benchmarks/bench_fault_tolerance.py -s``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.data import chronological_split, dataset_preset  # noqa: E402
+from repro.engine import (  # noqa: E402
+    FaultPlan,
+    InferenceIndex,
+    OnlineRecommendationService,
+    RecommendationService,
+    RemoteShardError,
+    WalTornWrite,
+    save_snapshot,
+    spawn_shard_server,
+)
+from repro.models import LightGCN  # noqa: E402
+
+NUM_SHARDS = 2
+REPLICAS_PER_SHARD = 2
+DEFAULT_DATASETS = ("mooc",)
+TOP_K = 10
+#: Traffic rounds before and after the replica kills.
+ROUNDS_BEFORE = 3
+ROUNDS_AFTER = 5
+#: WAL crash-recovery must finish within this (generous, CI-sized) budget.
+RECOVERY_BUDGET_S = 30.0
+
+
+def _datasets():
+    override = os.environ.get("REPRO_BENCH_DATASET")
+    if override:
+        return tuple(name.strip() for name in override.split(",") if name.strip())
+    return DEFAULT_DATASETS
+
+
+def _build_index(name: str) -> InferenceIndex:
+    split = chronological_split(dataset_preset(name, seed=0))
+    model = LightGCN(split, embedding_dim=64, num_layers=3, seed=0)
+    model.eval()
+    return InferenceIndex.from_model(model, split)
+
+
+def _spawn_replica_fleet(snapshot_path):
+    """``REPLICAS_PER_SHARD`` server processes for each of ``NUM_SHARDS``.
+
+    Returns ``(processes, replica_sets)`` where ``processes[shard][replica]``
+    is a killable OS process and ``replica_sets`` plugs straight into
+    ``shard_addresses=``.
+    """
+    processes, replica_sets = [], []
+    for shard_id in range(NUM_SHARDS):
+        shard_processes, addresses = [], []
+        for _ in range(REPLICAS_PER_SHARD):
+            process, (host, port) = spawn_shard_server(
+                snapshot_path, shard_id, NUM_SHARDS)
+            shard_processes.append(process)
+            addresses.append(f"{host}:{port}")
+        processes.append(shard_processes)
+        replica_sets.append(addresses)
+    return processes, replica_sets
+
+
+def _stop_fleet(processes) -> None:
+    for shard_processes in processes:
+        for process in shard_processes:
+            if process.is_alive():
+                process.terminate()
+    for shard_processes in processes:
+        for process in shard_processes:
+            process.join(timeout=10.0)
+
+
+def run_failover(snapshot_path, users) -> dict:
+    """Kill one replica per shard mid-traffic; gate availability and parity.
+
+    Every request across the kill must succeed bit-identically to the
+    serial oracle; once a whole replica set is dead the typed error is
+    mandatory.  Returns the gated metrics.
+    """
+    with RecommendationService(snapshot=snapshot_path) as oracle_service:
+        oracle = oracle_service.top_k(users, TOP_K)
+
+    processes, replica_sets = _spawn_replica_fleet(snapshot_path)
+    served = 0
+    failed = 0
+    killed_at = None
+    first_after_kill_s = None
+    try:
+        with RecommendationService(snapshot=snapshot_path, executor="remote",
+                                   shard_addresses=replica_sets) as service:
+            executor = service.sharded.executor
+            executor.retry_backoff = 0.05
+            for _ in range(ROUNDS_BEFORE):
+                assert np.array_equal(service.top_k(users, TOP_K), oracle), \
+                    "pre-kill remote serving diverged from the serial oracle"
+                served += 1
+
+            # Kill the replica every shard is currently sticky on, so the
+            # very next request must actually fail over.
+            health = service.health_stats()
+            for shard_id, shard in enumerate(health["shards"]):
+                preferred = max(range(REPLICAS_PER_SHARD),
+                                key=lambda r: shard["replicas"][r]["requests"])
+                processes[shard_id][preferred].kill()
+                processes[shard_id][preferred].join(timeout=10.0)
+            killed_at = time.perf_counter()
+
+            for _ in range(ROUNDS_AFTER):
+                try:
+                    result = service.top_k(users, TOP_K)
+                except RemoteShardError:
+                    failed += 1
+                    continue
+                if first_after_kill_s is None:
+                    first_after_kill_s = time.perf_counter() - killed_at
+                assert np.array_equal(result, oracle), \
+                    "post-kill remote serving diverged from the serial oracle"
+                served += 1
+
+            health = service.health_stats()
+            failovers = health["failovers"]
+            assert failed == 0, (
+                f"{failed} request(s) failed although every shard kept a "
+                f"live replica — failover must make single-replica kills "
+                f"invisible")
+            assert failovers >= NUM_SHARDS, (
+                f"only {failovers} failover(s) recorded for {NUM_SHARDS} "
+                f"killed preferred replicas — the kills did not exercise "
+                f"the failover path")
+
+            # Phase 2: kill shard 0's surviving replicas too.  The service
+            # must fail closed with the typed error, never truncate.
+            for process in processes[0]:
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=10.0)
+            executor.max_retries = 1
+            executor.retry_backoff = 0.01
+            try:
+                service.top_k(users, TOP_K)
+            except RemoteShardError:
+                typed_error = True
+            else:
+                raise AssertionError(
+                    "a fully-dead replica set produced a result instead of "
+                    "a typed RemoteShardError — serving must fail closed")
+    finally:
+        _stop_fleet(processes)
+
+    total = served + failed
+    return {
+        "requests": total,
+        "served": served,
+        "availability": served / total,
+        "failovers": int(failovers),
+        "failover_recovery_s": first_after_kill_s,
+        "killed_shard_typed_error": typed_error,
+        "parity": True,
+    }
+
+
+def run_wal_recovery(snapshot_path, num_users: int, num_items: int) -> dict:
+    """Crash an ingesting service mid-append; gate recovery parity + time."""
+    rng = np.random.default_rng(7)
+    batches = [
+        (rng.integers(0, num_users + (8 if i == 2 else 0), 32).astype(np.int64),
+         rng.integers(0, num_items, 32).astype(np.int64))
+        for i in range(6)
+    ]
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-wal-") as tmp:
+        wal_path = Path(tmp) / "ingest.wal"
+        # The torn write lands mid-way through the final batch: everything
+        # acknowledged before it must survive, the torn batch must not.
+        plan = FaultPlan(seed=3).inject("wal.append", "torn_write",
+                                       at=len(batches) - 1, keep_fraction=0.7)
+        crashed_mid_append = False
+        with OnlineRecommendationService(snapshot=snapshot_path,
+                                         wal_path=wal_path,
+                                         wal_fault_plan=plan) as crashing:
+            for users, items in batches:
+                try:
+                    crashing.ingest(users, items)
+                except WalTornWrite:
+                    crashed_mid_append = True
+        assert crashed_mid_append, "the scheduled torn write never fired"
+
+        acked = batches[:-1]
+        with OnlineRecommendationService(snapshot=snapshot_path) as oracle:
+            for users, items in acked:
+                oracle.ingest(users, items)
+            probe = np.arange(oracle.num_users, dtype=np.int64)
+            want = oracle.top_k(probe, TOP_K)
+
+        start = time.perf_counter()
+        with OnlineRecommendationService(snapshot=snapshot_path,
+                                         wal_path=wal_path) as recovered:
+            recovery_s = time.perf_counter() - start
+            assert recovered.wal_replayed == len(acked), (
+                f"recovery replayed {recovered.wal_replayed} records, "
+                f"expected the {len(acked)} acknowledged batches")
+            got = recovered.top_k(probe, TOP_K)
+        assert np.array_equal(got, want), (
+            "recovered service diverged from the uncrashed oracle — "
+            "acknowledged ingest must be durable bit-identically")
+        assert recovery_s < RECOVERY_BUDGET_S, (
+            f"WAL recovery took {recovery_s:.2f}s, over the "
+            f"{RECOVERY_BUDGET_S}s budget")
+
+    return {
+        "wal_batches_acked": len(acked),
+        "wal_events_acked": int(sum(users.size for users, _ in acked)),
+        "recovery_s": recovery_s,
+        "wal_parity": True,
+    }
+
+
+def run_fault_tolerance(datasets=None):
+    rows = []
+    for name in (datasets or _datasets()):
+        index = _build_index(name)
+        users = np.arange(min(index.num_users, 256), dtype=np.int64)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-fault-") as tmp:
+            snapshot_path = save_snapshot(Path(tmp) / "serve.snap", index,
+                                          candidate_modes=("int8",))
+            failover = run_failover(snapshot_path, users)
+            wal = run_wal_recovery(snapshot_path, index.num_users,
+                                   index.num_items)
+        rows.append({
+            "dataset": name,
+            "users": int(index.num_users),
+            "items": int(index.num_items),
+            "shards": NUM_SHARDS,
+            "replicas": REPLICAS_PER_SHARD,
+            **failover,
+            **wal,
+        })
+    return rows
+
+
+def format_rows(rows) -> str:
+    header = (f"{'dataset':<10} {'users':>6} {'S':>3} {'R':>3} "
+              f"{'reqs':>5} {'avail':>6} {'failovers':>9} "
+              f"{'failover s':>10} {'recovery s':>10} {'typed':>6} "
+              f"{'parity':>6}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        failover_s = row["failover_recovery_s"]
+        lines.append(
+            f"{row['dataset']:<10} {row['users']:>6d} {row['shards']:>3d} "
+            f"{row['replicas']:>3d} {row['requests']:>5d} "
+            f"{row['availability']:>6.2f} {row['failovers']:>9d} "
+            f"{(f'{failover_s:.3f}' if failover_s is not None else 'n/a'):>10} "
+            f"{row['recovery_s']:>10.3f} "
+            f"{str(row['killed_shard_typed_error']):>6} "
+            f"{str(row['parity'] and row['wal_parity']):>6}")
+    return "\n".join(lines)
+
+
+def _write_artifact(rows) -> None:
+    try:
+        from .artifacts import write_artifact
+    except ImportError:  # pragma: no cover - direct script execution
+        from artifacts import write_artifact
+    preset = ",".join(sorted({row["dataset"] for row in rows}))
+    write_artifact("bench_fault_tolerance", rows, preset=preset)
+
+
+def test_fault_tolerance():
+    rows = run_fault_tolerance()
+    try:
+        from .conftest import print_block
+        print_block("Fault tolerance — replica failover + WAL crash recovery",
+                    format_rows(rows))
+    except ImportError:  # pragma: no cover - direct script execution
+        print(format_rows(rows))
+    _write_artifact(rows)
+
+
+def main() -> int:
+    rows = run_fault_tolerance()
+    print(format_rows(rows))
+    _write_artifact(rows)
+    print("OK: replica kills served through failover bit-identically "
+          "(availability 1.0); a fully-dead shard raised a typed error; "
+          "WAL crash recovery replayed every acknowledged batch "
+          "bit-identically within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

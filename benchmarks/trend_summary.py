@@ -70,6 +70,17 @@ KEY_METRICS = {
         ("stale snapshot rejected", "stale_snapshot_rejected", "all",
          "handshake fails closed"),
     ],
+    "bench_fault_tolerance": [
+        ("availability under kills", "availability", "min",
+         "= 1.0 while a replica survives"),
+        ("failovers survived", "failovers", "max",
+         ">= 1 per killed replica, bit-exact"),
+        ("WAL recovery s", "recovery_s", "max", "within recovery budget"),
+        ("WAL recovery parity", "wal_parity", "all",
+         "bit-identical to uncrashed oracle"),
+        ("dead shard fails closed", "killed_shard_typed_error", "all",
+         "typed RemoteShardError"),
+    ],
 }
 
 

@@ -110,11 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                                 "shard-server' processes — requires "
                                 "--snapshot and one --shard-addr per shard)")
     recommend.add_argument("--shard-addr", action="append", default=None,
-                           metavar="HOST:PORT", dest="shard_addr",
-                           help="with --executor remote: a shard server's "
-                                "address; repeat once per shard, in shard "
-                                "order (--shards defaults to the number of "
-                                "addresses)")
+                           metavar="HOST:PORT[,HOST:PORT...]",
+                           dest="shard_addr",
+                           help="with --executor remote: one shard's replica "
+                                "set — a server address, or several "
+                                "comma-separated replicas of the same shard "
+                                "(transport faults fail over between them); "
+                                "repeat once per shard, in shard order "
+                                "(--shards defaults to the number of "
+                                "--shard-addr flags)")
     recommend.add_argument("--candidates", default=None,
                            choices=["int8", "float32"], dest="candidates",
                            help="serve through the two-stage pipeline: "
@@ -145,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
                                 "into the base index once it reaches this "
                                 "many pairs (results are identical before "
                                 "and after the merge)")
+    recommend.add_argument("--wal", default=None, metavar="PATH",
+                           help="durable online serving: append every "
+                                "ingested event batch to a checksummed "
+                                "write-ahead log at PATH before "
+                                "acknowledging it; if PATH already holds a "
+                                "log, its records are replayed first "
+                                "(crash recovery — a torn final record is "
+                                "detected and dropped)")
+    recommend.add_argument("--wal-fsync", default="batch",
+                           choices=["always", "batch", "off"],
+                           dest="wal_fsync",
+                           help="with --wal: fsync after every append "
+                                "('always'), periodically plus at "
+                                "rotation ('batch', default), or never "
+                                "('off' — flush only)")
     recommend.add_argument("--serve", action="store_true",
                            help="serve the requested users concurrently "
                                 "through the async micro-batching frontend "
@@ -433,16 +452,23 @@ def _command_recommend(args: argparse.Namespace) -> int:
             candidate_escalation=args.adaptive_candidates,
             max_candidate_factor=args.max_candidate_factor)
         try:
-            if events is not None:
+            if events is not None or args.wal is not None:
+                # A WAL implies online serving even without fresh --ingest
+                # events: opening the log replays any records a previous
+                # (possibly crashed) process acknowledged.
                 service = OnlineRecommendationService(
                     snapshot=args.snapshot,
-                    compact_threshold=args.compact_threshold, **engine_kwargs)
+                    compact_threshold=args.compact_threshold,
+                    wal_path=args.wal, wal_fsync=args.wal_fsync,
+                    **engine_kwargs)
             else:
                 service = RecommendationService(snapshot=args.snapshot,
                                                 **engine_kwargs)
         except (SnapshotFormatError, OSError, ValueError) as error:
             raise SystemExit(f"error: --snapshot: {error}")
         if events is None:
+            # WAL replay (if any) already happened in the constructor, so
+            # num_users reflects recovered user growth here.
             bad = [u for u in users if not 0 <= u < service.num_users]
             if bad:
                 raise SystemExit(f"error: user ids {bad} outside "
@@ -468,7 +494,7 @@ def _command_recommend(args: argparse.Namespace) -> int:
             Trainer(model, split, config).fit()
         model.eval()
 
-        if (events is not None or args.shards > 1
+        if (events is not None or args.wal is not None or args.shards > 1
                 or args.candidates is not None or args.executor is not None):
             from .engine import OnlineRecommendationService, RecommendationService
             engine_kwargs = dict(
@@ -479,9 +505,10 @@ def _command_recommend(args: argparse.Namespace) -> int:
                 candidate_escalation=args.adaptive_candidates,
                 max_candidate_factor=args.max_candidate_factor)
             try:
-                if events is not None:
+                if events is not None or args.wal is not None:
                     service = OnlineRecommendationService(
                         model, split, compact_threshold=args.compact_threshold,
+                        wal_path=args.wal, wal_fsync=args.wal_fsync,
                         **engine_kwargs)
                 else:
                     service = RecommendationService(model, split,
@@ -542,6 +569,14 @@ def _command_recommend(args: argparse.Namespace) -> int:
         payload["cache"] = cache_stats()
     if frontend_stats is not None:
         payload["frontend"] = frontend_stats
+    # Replica health (remote executor) and ingest durability (WAL): counters
+    # survive service.close(), so reading them here is safe.
+    health_stats = getattr(service, "health_stats", None)
+    if health_stats is not None and (health := health_stats()) is not None:
+        payload["health"] = health
+    wal_stats = getattr(service, "wal_stats", None)
+    if wal_stats is not None:
+        payload["wal"] = wal_stats
     if args.candidates is not None:
         payload["candidates"] = service.certificate_stats
     if ingest_stats is not None:
@@ -569,6 +604,18 @@ def _command_recommend(args: argparse.Namespace) -> int:
             print(f"cache: {stats['hits']} hits / {stats['misses']} misses "
                   f"(hit rate {stats['hit_rate']:.2f}, "
                   f"size {stats['size']}/{stats['capacity']})")
+        if "health" in payload:
+            stats = payload["health"]
+            print(f"replicas: {stats['requests']} requests over "
+                  f"{stats['num_shards']} shard(s) "
+                  f"(replicas per shard {stats['replicas_per_shard']}, "
+                  f"failovers {stats['failovers']})")
+        if "wal" in payload and payload["wal"] is not None:
+            stats = payload["wal"]
+            print(f"wal: {stats['records']} records ({stats['bytes']} bytes, "
+                  f"fsync {stats['fsync']}, "
+                  f"replayed {stats['replayed_records']}, "
+                  f"rotations {stats['rotations']})")
         if args.candidates is not None:
             stats = service.certificate_stats
             print(f"certificates: {stats['certified_users']}/{stats['users']} "

@@ -84,6 +84,21 @@ models into a fast, reusable serving path:
   serial oracle and *fails closed*: any unreachable/stale/faulty shard
   raises :class:`RemoteShardError`, never a partial merge.
 
+* :class:`FaultPlan` / :class:`WriteAheadLog` — the availability and
+  durability layer on top of the exactness substrate.
+  :class:`RemoteExecutor` accepts one *replica set* per shard and fails
+  over transport faults to healthy siblings (per-replica circuit breakers,
+  half-open probes, capped full-jitter retry backoff) — failover never
+  changes results, only which replica computes them — while
+  ``OnlineRecommendationService(wal_path=…)`` appends every acknowledged
+  ingest batch to a checksummed write-ahead log before returning, so a
+  post-crash construction over the same log serves bit-identically to the
+  uncrashed service (torn tail records are detected and dropped; snapshot
+  republish rotates the log to keep it bounded).  A seeded
+  :class:`FaultPlan` schedules deterministic faults (resets, delays,
+  garbled frames, handshake rejections, server crashes, torn writes) into
+  all three components, so every claimed fault path is a reproducible test.
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
@@ -136,8 +151,18 @@ from .remote import (
     RemoteExecutor,
     RemoteProtocolError,
     RemoteShardError,
+    ReplicaRejectedError,
     ShardServer,
+    parse_replica_set,
     spawn_shard_server,
+)
+from .faults import FaultAction, FaultPlan, FaultRule
+from .wal import (
+    FSYNC_POLICIES,
+    WalError,
+    WalTornWrite,
+    WriteAheadLog,
+    read_wal_records,
 )
 
 __all__ = [
@@ -167,7 +192,17 @@ __all__ = [
     "RemoteExecutor",
     "RemoteShardError",
     "RemoteProtocolError",
+    "ReplicaRejectedError",
+    "parse_replica_set",
     "spawn_shard_server",
+    "FaultAction",
+    "FaultPlan",
+    "FaultRule",
+    "FSYNC_POLICIES",
+    "WalError",
+    "WalTornWrite",
+    "WriteAheadLog",
+    "read_wal_records",
     "CANDIDATE_MODES",
     "CandidateIndex",
     "ShardedCandidateIndex",

@@ -1,0 +1,224 @@
+"""Deterministic fault injection for the serving stack.
+
+Fault-tolerance claims are only worth what their tests can reproduce: "we
+survive a replica dying" must mean *this* request observed *that* fault, on
+every run, on every machine.  This module provides the one fault-injection
+seam shared by the whole serving stack — :class:`ShardServer` (server-side
+transport faults), :class:`RemoteExecutor` (client-side transport faults)
+and the ingest write-ahead log (torn writes) all consult a single
+:class:`FaultPlan` instead of growing ad-hoc test knobs.
+
+A :class:`FaultPlan` is a *schedule*: rules bind a fault ``kind`` to a named
+injection **site** and fire by that site's **request index** — a per-site
+counter advanced exactly once per operation.  Determinism falls out of the
+design: the same plan observing the same sequence of operations injects the
+same faults, so every claimed fault path in the tests and in
+``benchmarks/bench_fault_tolerance.py`` is replayable bit-for-bit.  Plans
+are picklable (counters and all) so a shard-server child process can carry
+its own schedule.
+
+Sites in use across the stack (any string is accepted — sites are named by
+their call sites, not enumerated here):
+
+* ``"server.handshake"`` — a :class:`ShardServer` handling a handshake.
+* ``"server.request"`` — a :class:`ShardServer` handling a payload request.
+* ``"client.request"`` — a :class:`RemoteExecutor` request attempt.
+* ``"wal.append"`` — a :class:`repro.engine.wal.WriteAheadLog` record write.
+
+Fault kinds are plain strings too; the site decides what a kind means (the
+plan is a schedule, not an interpreter):
+
+=================  ====================================================
+``delay``          stall the operation by ``seconds`` before proceeding
+``reset``          drop the connection without replying (server) / fail
+                   the attempt with a simulated transport reset (client)
+``garble``         reply with bytes that do not parse as a protocol frame
+``reject``         deterministically reject the handshake
+``crash``          kill the server (``os._exit`` in a child process, a
+                   clean shutdown for in-process servers)
+``torn_write``     persist only a prefix of the WAL record, then raise —
+                   a crash in the middle of a write
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FaultAction", "FaultPlan", "FaultRule"]
+
+
+class FaultAction:
+    """One scheduled fault, handed to the injection site that drew it."""
+
+    __slots__ = ("kind", "params", "site", "index")
+
+    def __init__(self, kind: str, params: dict, site: str, index: int) -> None:
+        self.kind = kind
+        self.params = params
+        self.site = site
+        self.index = index
+
+    def param(self, name: str, default=None):
+        """A fault parameter (e.g. ``seconds`` for a ``delay``)."""
+        return self.params.get(name, default)
+
+    def __repr__(self) -> str:
+        return (f"FaultAction({self.kind!r}, site={self.site!r}, "
+                f"index={self.index}, params={self.params})")
+
+
+class FaultRule:
+    """One schedule entry: fire ``kind`` at matching request indices.
+
+    Matching, in decreasing precedence:
+
+    * ``at`` — an exact index or an iterable of exact indices.
+    * ``after`` — every index ``>= after``.
+    * neither — every index.
+
+    ``count`` bounds the total number of firings (``None`` = unbounded,
+    except ``at=<int>`` which naturally fires once).
+    """
+
+    def __init__(self, site: str, kind: str, *, at=None,
+                 after: Optional[int] = None, count: Optional[int] = None,
+                 params: Optional[dict] = None) -> None:
+        self.site = str(site)
+        self.kind = str(kind)
+        if at is not None and after is not None:
+            raise ValueError("pass at=… or after=…, not both")
+        if at is None:
+            self.at: Optional[frozenset] = None
+        elif isinstance(at, int):
+            self.at = frozenset((at,))
+        else:
+            self.at = frozenset(int(index) for index in at)
+        self.after = None if after is None else int(after)
+        if self.after is not None and self.after < 0:
+            raise ValueError("after must be >= 0")
+        self.count = None if count is None else int(count)
+        if self.count is not None and self.count < 1:
+            raise ValueError("count must be >= 1 (or None for unbounded)")
+        self.params = dict(params or {})
+        self.fired = 0
+
+    def matches(self, index: int) -> bool:
+        if self.count is not None and self.fired >= self.count:
+            return False
+        if self.at is not None:
+            return index in self.at
+        if self.after is not None:
+            return index >= self.after
+        return True
+
+    def __repr__(self) -> str:
+        window = (f"at={sorted(self.at)}" if self.at is not None
+                  else f"after={self.after}" if self.after is not None
+                  else "always")
+        return (f"FaultRule({self.site!r}, {self.kind!r}, {window}, "
+                f"count={self.count}, fired={self.fired})")
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults across injection sites.
+
+    Build a plan, :meth:`inject` rules into it, and hand it to the
+    components under test; each component advances its site's counter once
+    per operation via :meth:`advance` and applies whatever action (if any)
+    the schedule returns.  The ``seed`` drives the plan's :attr:`rng` —
+    available to rules that want randomized parameters — so a plan is
+    reproducible end to end from ``(seed, schedule, operation sequence)``.
+
+    Thread-safe: concurrent sites (a threading shard server, a client fan-out
+    pool) advance under one lock.  Picklable: the lock is dropped and
+    recreated, counters and fired-fault history travel with the plan, so a
+    child process continues the schedule it was given.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+        self.rng = random.Random(self.seed)
+        self._rules: List[FaultRule] = []
+        self._indices: Dict[str, int] = {}
+        self._fired: List[Tuple[str, int, str]] = []
+        self._lock = threading.Lock()
+
+    # -- schedule construction ------------------------------------------ #
+
+    def inject(self, site: str, kind: str, *, at=None,
+               after: Optional[int] = None, count: Optional[int] = None,
+               **params) -> "FaultPlan":
+        """Schedule ``kind`` at ``site``; returns ``self`` for chaining.
+
+        ``at``/``after``/``count`` select request indices (see
+        :class:`FaultRule`); remaining keyword arguments become the fault's
+        parameters (e.g. ``seconds=0.5`` for a ``delay``).
+        """
+        self._rules.append(FaultRule(site, kind, at=at, after=after,
+                                     count=count, params=params))
+        return self
+
+    @property
+    def rules(self) -> Tuple[FaultRule, ...]:
+        return tuple(self._rules)
+
+    # -- runtime -------------------------------------------------------- #
+
+    def advance(self, site: str) -> Optional[FaultAction]:
+        """Advance ``site``'s request counter; return its scheduled fault.
+
+        Exactly one counter tick per call, whether or not a rule fires; the
+        first matching rule wins (schedule order breaks ties).
+        """
+        with self._lock:
+            index = self._indices.get(site, 0)
+            self._indices[site] = index + 1
+            for rule in self._rules:
+                if rule.site == site and rule.matches(index):
+                    rule.fired += 1
+                    self._fired.append((site, index, rule.kind))
+                    return FaultAction(rule.kind, rule.params, site, index)
+        return None
+
+    def requests_seen(self, site: str) -> int:
+        """How many operations ``site`` has advanced through."""
+        with self._lock:
+            return self._indices.get(site, 0)
+
+    @property
+    def fired(self) -> List[Tuple[str, int, str]]:
+        """Chronological ``(site, index, kind)`` log of injected faults."""
+        with self._lock:
+            return list(self._fired)
+
+    def stats(self) -> dict:
+        """Counters for assertions: per-site operations and injections."""
+        with self._lock:
+            injected: Dict[str, int] = {}
+            for site, _, _ in self._fired:
+                injected[site] = injected.get(site, 0) + 1
+            return {
+                "seed": self.seed,
+                "rules": len(self._rules),
+                "operations": dict(self._indices),
+                "injected": injected,
+                "fired": len(self._fired),
+            }
+
+    # -- pickling (shard-server child processes) ------------------------ #
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __repr__(self) -> str:
+        return (f"FaultPlan(seed={self.seed}, rules={len(self._rules)}, "
+                f"fired={len(self._fired)})")

@@ -55,6 +55,7 @@ import numpy as np
 from .index import InferenceIndex, UserItemIndex, _expand_slices, _FlatPairOps
 from .service import RecommendationService
 from .snapshot import save_snapshot
+from .wal import WriteAheadLog
 
 __all__ = [
     "NEW_USER_POLICIES",
@@ -342,6 +343,17 @@ class OnlineRecommendationService(RecommendationService):
       ``snapshot_path=…`` every compaction republishes in a background
       thread — the heavy quantise-and-write work happens off the serving
       path, and fresh snapshots ship without a stop-the-world refreeze.
+    * Durable ingest via a write-ahead log (``wal_path=…``): every event
+      batch is appended to a checksummed :class:`repro.engine.wal.WriteAheadLog`
+      before :meth:`ingest` returns, so acknowledged events survive process
+      death.  Construction over an existing log *is* recovery — intact
+      records are replayed onto the snapshot base (a torn tail record is
+      detected by checksum and dropped), and because compaction is
+      serving-invariant the recovered service serves bit-identically to the
+      service that never crashed, for any crash point.  Replay is idempotent
+      (ingest dedups against the base), so a snapshot republish plus
+      :meth:`repro.engine.wal.WriteAheadLog.rotate` merely bounds the log —
+      correctness never depends on rotation having happened.
 
     The wrapped snapshot machinery is reused as-is: sharded serving keeps its
     executor seam (each shard's local exclusion gets a sliced overlay), and
@@ -361,7 +373,9 @@ class OnlineRecommendationService(RecommendationService):
                  compact_threshold: int = 100_000,
                  new_user_policy: str = "mean",
                  max_user_growth: int = 1_000_000,
-                 snapshot_path=None, **kwargs) -> None:
+                 snapshot_path=None, wal_path=None, wal_fsync: str = "batch",
+                 wal_batch_interval: int = 64, wal_fault_plan=None,
+                 **kwargs) -> None:
         self.compact_threshold = int(compact_threshold)
         if self.compact_threshold < 1:
             raise ValueError("compact_threshold must be a positive integer")
@@ -388,6 +402,26 @@ class OnlineRecommendationService(RecommendationService):
         self._base_users = self.index.num_users
         self._fallback_row_cache: Optional[np.ndarray] = None
         self._wrap_overlays()
+        self._wal: Optional[WriteAheadLog] = None
+        self.wal_replayed = 0
+        self._replaying = False
+        if wal_path is not None:
+            # Opening the log IS crash recovery: intact records survive a
+            # torn tail and are replayed below, so construction over the
+            # snapshot base + an existing WAL reproduces the uncrashed
+            # service's serving state bit-identically.
+            self._wal = WriteAheadLog(wal_path, fsync=wal_fsync,
+                                      batch_interval=wal_batch_interval,
+                                      fault_plan=wal_fault_plan)
+            if self._wal.recovered:
+                with self._ingest_lock:
+                    self._replaying = True
+                    try:
+                        for users, items in self._wal.recovered:
+                            self._ingest_locked(users, items, log=False)
+                            self.wal_replayed += 1
+                    finally:
+                        self._replaying = False
 
     # ------------------------------------------------------------------ #
     @staticmethod
@@ -478,7 +512,7 @@ class OnlineRecommendationService(RecommendationService):
         with self._ingest_lock:
             return self._ingest_locked(users, items)
 
-    def _ingest_locked(self, users, items) -> dict:
+    def _ingest_locked(self, users, items, *, log: bool = True) -> dict:
         users = np.asarray(users, dtype=np.int64)
         items = np.asarray(items, dtype=np.int64)
         if users.shape != items.shape or users.ndim != 1:
@@ -509,6 +543,12 @@ class OnlineRecommendationService(RecommendationService):
         stats["invalidated"] = self.invalidate_users(touched)
         self.ingested_pairs += int(fresh_users.size)
         self.new_users += stats["new_users"]
+        if log and self._wal is not None:
+            # Durability point: the raw event batch hits the log before the
+            # caller's ingest() returns — acknowledged means recoverable.
+            # Replay dedups, so logging raw events (duplicates included)
+            # keeps "acked == logged" with no derived state on disk.
+            self._wal.append(users, items)
         if self.delta_size >= self.compact_threshold:
             self.compact()
             stats["compacted"] = True
@@ -546,7 +586,9 @@ class OnlineRecommendationService(RecommendationService):
                             getattr(previous, counter))
             self.compactions += 1
         if publish is None:
-            publish = self.snapshot_path is not None
+            # Replay must not republish: recovery reconstructs serving state,
+            # it does not advance the published artifact.
+            publish = self.snapshot_path is not None and not self._replaying
         if publish:
             self.publish_snapshot(background=True)
         return self
@@ -583,19 +625,37 @@ class OnlineRecommendationService(RecommendationService):
         called by :meth:`close`) joins the thread and re-raises its error.
         """
         target = self._publish_target(path)
-        if self.delta_size or self._overlay.num_users != self._overlay.base.num_users:
-            self.compact(publish=False)
         if candidate_modes is None:
             candidate_modes = ((self.candidate_mode,)
                                if self.candidate_mode is not None else ("int8",))
-        # Capture the frozen state *now*: later ingests swap in new matrices
-        # and new base CSRs but never mutate these objects in place.
-        frozen = InferenceIndex(
-            self.index.num_users, self.index.num_items,
-            user_embeddings=self.index.user_embeddings,
-            item_embeddings=self.index.item_embeddings,
-            exclusion=self._overlay.base, dtype=self.index.dtype, copy=False)
-        frozen._item_norms = self.index.item_norms  # reuse the cached norms
+        with self._ingest_lock:
+            # Compact, capture, and mark the WAL under one lock hold: every
+            # event at or below the mark is provably inside the captured
+            # frozen state, so rotating to the mark after the write can
+            # never drop an event the published file does not carry.
+            if self.delta_size \
+                    or self._overlay.num_users != self._overlay.base.num_users:
+                self.compact(publish=False)
+            # Capture the frozen state *now*: later ingests swap in new
+            # matrices and new base CSRs but never mutate these objects in
+            # place.
+            frozen = InferenceIndex(
+                self.index.num_users, self.index.num_items,
+                user_embeddings=self.index.user_embeddings,
+                item_embeddings=self.index.item_embeddings,
+                exclusion=self._overlay.base, dtype=self.index.dtype,
+                copy=False)
+            frozen._item_norms = self.index.item_norms  # reuse cached norms
+            # Rotate only when the publish target is the file a recovered
+            # service would be constructed from; publishing a side copy must
+            # leave the log covering the original base.  (Rotation is a
+            # space bound, not a correctness requirement — replay dedups.)
+            wal_mark = None
+            if self._wal is not None and (
+                    Path(target) == self.snapshot_path
+                    or (self._snapshot is not None
+                        and Path(target) == Path(self._snapshot.path))):
+                wal_mark = self._wal.offset()
         stamp = {"compactions": self.compactions,
                  "ingested_pairs": self.ingested_pairs,
                  "new_users": self.new_users}
@@ -604,6 +664,8 @@ class OnlineRecommendationService(RecommendationService):
         def write() -> None:
             save_snapshot(target, frozen, candidate_modes=candidate_modes,
                           metadata=stamp)
+            if wal_mark is not None:
+                self._wal.rotate(wal_mark)
 
         if not background:
             self.wait_published()
@@ -646,7 +708,11 @@ class OnlineRecommendationService(RecommendationService):
         try:
             self.wait_published()
         finally:
-            super().close()
+            try:
+                super().close()
+            finally:
+                if self._wal is not None:
+                    self._wal.close()
 
     # ------------------------------------------------------------------ #
     def refresh(self, model=None) -> "OnlineRecommendationService":
@@ -709,6 +775,20 @@ class OnlineRecommendationService(RecommendationService):
         return self
 
     @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log, or ``None`` (in-memory ingest)."""
+        return self._wal
+
+    @property
+    def wal_stats(self) -> Optional[dict]:
+        """Durability counters of the attached WAL, or ``None`` without one."""
+        if self._wal is None:
+            return None
+        stats = self._wal.stats()
+        stats["replayed_records"] = self.wal_replayed
+        return stats
+
+    @property
     def online_stats(self) -> dict:
         """Aggregate ingest/compaction counters of this service."""
         return {
@@ -721,6 +801,7 @@ class OnlineRecommendationService(RecommendationService):
             "snapshot_path": (str(self.snapshot_path)
                               if self.snapshot_path else None),
             "publishes": self.publishes,
+            "wal": self.wal_stats,
         }
 
     def __repr__(self) -> str:

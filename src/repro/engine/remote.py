@@ -15,21 +15,38 @@ catalogue spreads across hosts.
   online user growth, ``extra_pairs`` exclusions the file does not hold)
   rides along with each request exactly as it does for the process executor,
   so online serving over sockets stays bit-identical too.
-* :class:`RemoteExecutor` — ``ships_payloads`` executor bound to a list of
-  ``host:port`` addresses, one per shard.  Fans each request out to every
-  shard concurrently and returns results in shard order; the router's merge
-  is untouched.
+* :class:`RemoteExecutor` — ``ships_payloads`` executor bound to one
+  *replica set* per shard (``[["h1:p", "h2:p"], …]``; a plain ``host:port``
+  string is a replica set of one).  Fans each request out to every shard
+  concurrently and returns results in shard order; the router's merge is
+  untouched.
 
-Failure semantics are *fail closed*: a request either reflects every shard
-or raises :class:`RemoteShardError` — a partial merge is never returned.
-Transport faults (connect refused, reset, timeout) are retried with
-exponential backoff up to ``max_retries`` times, reconnecting and
-re-handshaking each attempt; deterministic rejections (protocol version
-mismatch, wrong shard geometry, a shard serving a different snapshot file)
-are raised immediately.  The handshake pins protocol version and snapshot
-identity via :func:`repro.engine.snapshot.snapshot_fingerprint` — a
-content fingerprint, not an inode, so router and shard hosts need not share
-a filesystem, only a byte-identical snapshot file.
+Failure semantics are *fail closed and failover-transparent*: a request
+either reflects every shard or raises :class:`RemoteShardError` — a partial
+merge is never returned.  A transport fault (connect refused, reset,
+timeout, garbled frame) fails over to the next healthy replica of the
+*same* shard; a per-replica circuit breaker (consecutive failures open it,
+a half-open probe after ``breaker_cooldown`` closes it) keeps dead replicas
+from absorbing a connect timeout on every request.  Retries across the
+whole replica set use capped full-jitter exponential backoff so recovering
+fleets are not hit by synchronized retry storms.  Deterministic rejections
+(protocol version mismatch, wrong shard geometry, a replica serving a
+different snapshot file) disqualify that *replica* permanently — a stale
+replica is skipped, never served — and the typed error fires only once a
+shard's entire replica set is exhausted.  The handshake pins protocol
+version and snapshot identity via
+:func:`repro.engine.snapshot.snapshot_fingerprint` — a content fingerprint,
+not an inode, so router and shard hosts need not share a filesystem, only a
+byte-identical snapshot file.  Because every replica must pass the same
+handshake and the merge is certified exact, failover never changes results;
+it only changes which replica computes them.
+
+Fault injection: both sides accept a
+:class:`~repro.engine.faults.FaultPlan`.  :class:`ShardServer` consults
+sites ``"server.handshake"``/``"server.request"`` (``delay``, ``reset``,
+``garble``, ``reject``, ``crash``), :class:`RemoteExecutor` consults
+``"client.request"`` (``delay``, ``reset``), so every failover path above
+is reproducible from a seeded schedule instead of ad-hoc test knobs.
 
 Wire format (all integers little-endian)::
 
@@ -46,16 +63,19 @@ from __future__ import annotations
 
 import json
 import math
+import os
+import random
 import socket
 import socketserver
 import struct
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .faults import FaultPlan
 from .sharding import PARTITION_POLICIES, _ExecutorBase
 from .snapshot import (
     _execute_shard_payload,
@@ -68,8 +88,10 @@ __all__ = [
     "RemoteExecutor",
     "RemoteProtocolError",
     "RemoteShardError",
+    "ReplicaRejectedError",
     "ShardServer",
     "parse_address",
+    "parse_replica_set",
     "spawn_shard_server",
 ]
 
@@ -97,6 +119,16 @@ class RemoteShardError(RuntimeError):
 
 class RemoteProtocolError(RemoteShardError):
     """A peer sent bytes that do not parse as a protocol frame/message."""
+
+
+class ReplicaRejectedError(RemoteShardError):
+    """One replica deterministically rejected the handshake.
+
+    Stale snapshot, wrong geometry, or protocol skew: that replica must
+    never serve, but its peers in the same replica set still can.  The
+    executor marks the replica disqualified and fails over; only when every
+    replica of the shard is rejected or unreachable does the request raise.
+    """
 
 
 # ---------------------------------------------------------------------- #
@@ -200,6 +232,38 @@ def parse_address(address) -> Tuple[str, int]:
     return str(host), port
 
 
+def parse_replica_set(entry) -> List[Tuple[str, int]]:
+    """Normalise one shard's replica set to a list of ``(host, port)``.
+
+    Accepted spellings, all equivalent for a single replica:
+
+    * ``"host:port"`` — one replica;
+    * ``"h1:p1,h2:p2"`` — comma-separated replicas (the CLI form);
+    * ``("host", 8080)`` — one already-parsed address pair;
+    * ``["h1:p1", ("h2", 8080), …]`` — an explicit replica list.
+
+    Duplicate replicas in one set are rejected: they would silently halve
+    the redundancy the caller thinks they configured.
+    """
+    if isinstance(entry, str):
+        parts = [part.strip() for part in entry.split(",") if part.strip()]
+        if not parts:
+            raise ValueError(f"empty replica set {entry!r}")
+        replicas = [parse_address(part) for part in parts]
+    elif isinstance(entry, (tuple, list)):
+        if len(entry) == 2 and isinstance(entry[1], int):
+            replicas = [parse_address(entry)]  # a bare (host, port) pair
+        elif not entry:
+            raise ValueError("a shard's replica set must not be empty")
+        else:
+            replicas = [parse_address(item) for item in entry]
+    else:
+        replicas = [parse_address(entry)]
+    if len(set(replicas)) != len(replicas):
+        raise ValueError(f"duplicate replica in replica set {entry!r}")
+    return replicas
+
+
 # ---------------------------------------------------------------------- #
 # Server side
 # ---------------------------------------------------------------------- #
@@ -222,8 +286,11 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
                 kind, fields, arrays = _recv_message(sock)
             except (ConnectionError, RemoteProtocolError, OSError):
                 return  # peer went away or is speaking another protocol
-            if owner.request_delay_s > 0.0:
-                time.sleep(owner.request_delay_s)
+            if owner.fault_plan is not None:
+                site = ("server.handshake" if kind == "handshake"
+                        else "server.request")
+                if self._apply_fault(owner, sock, owner.fault_plan.advance(site)):
+                    return
             close_after = False
             try:
                 if kind == "handshake":
@@ -251,6 +318,34 @@ class _ShardRequestHandler(socketserver.BaseRequestHandler):
             if close_after:
                 return
 
+    @staticmethod
+    def _apply_fault(owner: "ShardServer", sock, action) -> bool:
+        """Apply one scheduled fault; ``True`` means drop the connection."""
+        if action is None:
+            return False
+        if action.kind == "delay":
+            time.sleep(float(action.param("seconds", 0.05)))
+            return False  # a stall, then normal service
+        if action.kind == "reset":
+            return True  # close without replying: client sees EOF/reset
+        if action.kind == "garble":
+            try:
+                sock.sendall(b"\x00GARBLED-NOT-A-FRAME\x00")
+            except OSError:
+                pass
+            return True
+        if action.kind == "reject":
+            try:
+                sock.sendall(encode_message("error", {
+                    "message": "injected fault: handshake rejected"}))
+            except OSError:
+                pass
+            return True
+        if action.kind == "crash":
+            owner._crash()
+            return True
+        raise ValueError(f"unknown server fault kind {action.kind!r}")
+
 
 class ShardServer:
     """Serve one shard of a published snapshot over TCP.
@@ -263,15 +358,18 @@ class ShardServer:
 
     ``port=0`` binds an ephemeral port; read :attr:`address` after
     construction.  ``start()`` serves from a daemon thread (tests, embedded
-    use); ``serve_forever()`` blocks (the CLI).  ``request_delay_s`` is a
-    fault-injection hook for tests/benchmarks: it stalls every request by
-    that many seconds so client-side timeout/retry paths can be exercised
-    deterministically.
+    use); ``serve_forever()`` blocks (the CLI).  ``fault_plan`` attaches a
+    :class:`~repro.engine.faults.FaultPlan` consulted once per received
+    message (sites ``"server.handshake"``/``"server.request"``) so
+    client-side timeout, retry, and failover paths can be exercised
+    deterministically — delays, connection resets, garbled frames, injected
+    rejections, and whole-server crashes all come from the one seeded
+    schedule.
     """
 
     def __init__(self, snapshot_path, shard_id: int, num_shards: int, *,
                  policy: str = "contiguous", host: str = "127.0.0.1",
-                 port: int = 0, request_delay_s: float = 0.0) -> None:
+                 port: int = 0, fault_plan: Optional[FaultPlan] = None) -> None:
         self.snapshot_path = str(snapshot_path)
         self.num_shards = int(num_shards)
         self.shard_id = int(shard_id)
@@ -284,7 +382,12 @@ class ShardServer:
             raise ValueError(f"unknown partition policy {policy!r}; "
                              f"options: {PARTITION_POLICIES}")
         self.policy = policy
-        self.request_delay_s = float(request_delay_s)
+        self.fault_plan = fault_plan
+        # A "crash" fault means os._exit in a dedicated server process but a
+        # clean close for servers embedded in a test process (killing the
+        # test runner is not a useful simulation); _serve_shard_process
+        # flips this on.
+        self._crash_hard = False
         # Fail fast: fingerprint + shard slice both validate the file now,
         # not on the first remote request.
         self.fingerprint = snapshot_fingerprint(self.snapshot_path)
@@ -333,6 +436,12 @@ class ShardServer:
             self._thread = None
 
     stop = close
+
+    def _crash(self) -> None:
+        """An injected crash: die hard in a child process, else shut down."""
+        if self._crash_hard:  # pragma: no cover - kills the process
+            os._exit(1)
+        threading.Thread(target=self.close, daemon=True).start()
 
     def __enter__(self) -> "ShardServer":
         return self
@@ -414,19 +523,80 @@ class ShardServer:
 # Client side
 # ---------------------------------------------------------------------- #
 
+class _ReplicaState:
+    """One replica's connection, circuit breaker, and health counters.
+
+    The lock guards the socket *and* the breaker state; counters are read
+    without it by :meth:`RemoteExecutor.health_stats` (monitoring reads may
+    be a request behind, they must never stall serving).
+    """
+
+    __slots__ = ("shard_id", "replica_id", "address", "sock", "lock",
+                 "circuit", "opened_at", "consecutive_failures", "rejected",
+                 "requests", "failures", "failovers", "probes",
+                 "probe_successes", "last_error")
+
+    def __init__(self, shard_id: int, replica_id: int,
+                 address: Tuple[str, int]) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.address = address
+        self.sock: Optional[socket.socket] = None
+        self.lock = threading.Lock()
+        self.circuit = "closed"          # closed | open (half-open = a probe)
+        self.opened_at = 0.0             # monotonic time the circuit opened
+        self.consecutive_failures = 0
+        self.rejected = False            # deterministic handshake rejection
+        self.requests = 0
+        self.failures = 0
+        self.failovers = 0               # transport faults that moved the
+        self.probes = 0                  # request to a sibling replica
+        self.probe_successes = 0
+        self.last_error: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        host, port = self.address
+        return f"{host}:{port}"
+
+    def snapshot(self) -> dict:
+        return {
+            "address": self.label,
+            "circuit": "rejected" if self.rejected else self.circuit,
+            "requests": self.requests,
+            "failures": self.failures,
+            "failovers": self.failovers,
+            "consecutive_failures": self.consecutive_failures,
+            "probes": self.probes,
+            "probe_successes": self.probe_successes,
+            "last_error": self.last_error,
+        }
+
+
 class RemoteExecutor(_ExecutorBase):
     """Fan shard payloads out to :class:`ShardServer` endpoints over TCP.
 
-    Address ``i`` must serve shard ``i`` of ``num_shards = len(addresses)``
-    under ``policy`` — the handshake enforces exactly that, plus protocol
-    version and (when ``snapshot_path``/``fingerprint`` is given) snapshot
-    content identity, so a shard serving a stale file is rejected before a
-    single payload is merged.
+    Entry ``i`` of ``addresses`` is shard ``i``'s *replica set* (see
+    :func:`parse_replica_set`; a plain ``"host:port"`` string is a set of
+    one).  Every replica must serve shard ``i`` of
+    ``num_shards = len(addresses)`` under ``policy`` — the per-replica
+    handshake enforces exactly that, plus protocol version and (when
+    ``snapshot_path``/``fingerprint`` is given) snapshot content identity,
+    so a replica serving a stale file is disqualified before a single
+    payload is merged.
 
-    Connections are persistent (one per shard, re-established transparently
-    after transport faults) and requests fan out concurrently from a small
-    thread pool.  ``fan_out`` returns per-shard results in shard order or
-    raises :class:`RemoteShardError`; it never returns a subset.
+    Connections are persistent (one per replica, re-established
+    transparently after transport faults) and requests fan out concurrently
+    from a small thread pool.  Within a shard, requests stick to the last
+    replica that answered; a transport fault fails over to the next healthy
+    sibling, and a circuit breaker (``breaker_threshold`` consecutive
+    failures open it; a half-open probe after ``breaker_cooldown`` seconds
+    closes it again) keeps known-dead replicas from absorbing a connect
+    timeout per request.  Retry sleeps use capped full-jitter exponential
+    backoff (``retry_backoff``/``max_backoff``, seeded by ``jitter_seed``
+    for deterministic tests).  ``fan_out`` returns per-shard results in
+    shard order or raises :class:`RemoteShardError`; it never returns a
+    subset.
     """
 
     parallel = True
@@ -436,11 +606,16 @@ class RemoteExecutor(_ExecutorBase):
     def __init__(self, addresses: Sequence, *, snapshot_path=None,
                  fingerprint: Optional[str] = None,
                  policy: str = "contiguous", timeout: float = 10.0,
-                 max_retries: int = 2, retry_backoff: float = 0.05) -> None:
-        self.addresses = [parse_address(address) for address in addresses]
-        if not self.addresses:
+                 max_retries: int = 2, retry_backoff: float = 0.05,
+                 max_backoff: float = 2.0, breaker_threshold: int = 3,
+                 breaker_cooldown: float = 1.0,
+                 jitter_seed: Optional[int] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
+        if not addresses:
             raise ValueError("RemoteExecutor needs at least one shard address")
-        self.num_shards = len(self.addresses)
+        self.replica_sets: List[List[Tuple[str, int]]] = [
+            parse_replica_set(entry) for entry in addresses]
+        self.num_shards = len(self.replica_sets)
         if policy not in PARTITION_POLICIES:
             raise ValueError(f"unknown partition policy {policy!r}; "
                              f"options: {PARTITION_POLICIES}")
@@ -454,13 +629,30 @@ class RemoteExecutor(_ExecutorBase):
         self.retry_backoff = float(retry_backoff)
         if self.retry_backoff < 0:
             raise ValueError("retry_backoff must be >= 0")
+        self.max_backoff = float(max_backoff)
+        if self.max_backoff < 0:
+            raise ValueError("max_backoff must be >= 0")
+        self.breaker_threshold = int(breaker_threshold)
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        self.breaker_cooldown = float(breaker_cooldown)
+        if self.breaker_cooldown < 0:
+            raise ValueError("breaker_cooldown must be >= 0")
+        self.fault_plan = fault_plan
         if fingerprint is None and snapshot_path is not None:
             fingerprint = snapshot_fingerprint(snapshot_path)
         self.snapshot_path = None if snapshot_path is None \
             else str(snapshot_path)
         self.fingerprint = fingerprint
-        self._socks: list = [None] * self.num_shards
-        self._locks = [threading.Lock() for _ in range(self.num_shards)]
+        self._replicas: List[List[_ReplicaState]] = [
+            [_ReplicaState(shard_id, replica_id, address)
+             for replica_id, address in enumerate(replica_set)]
+            for shard_id, replica_set in enumerate(self.replica_sets)]
+        # Sticky preference: index of the replica that last answered for the
+        # shard, so healthy traffic does not ping-pong across replicas.
+        self._preferred = [0] * self.num_shards
+        self._jitter_rng = random.Random(jitter_seed)
+        self._jitter_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
 
@@ -511,11 +703,12 @@ class RemoteExecutor(_ExecutorBase):
         return results
 
     def close(self) -> None:
-        """Drop every shard connection and the fan-out pool (idempotent)."""
+        """Drop every replica connection and the fan-out pool (idempotent)."""
         self._closed = True
-        for shard_id, lock in enumerate(self._locks):
-            with lock:
-                self._drop(shard_id)
+        for replicas in self._replicas:
+            for replica in replicas:
+                with replica.lock:
+                    self._drop(replica)
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
@@ -525,10 +718,61 @@ class RemoteExecutor(_ExecutorBase):
                 f"shards={self.num_shards}, policy={self.policy!r}, "
                 f"timeout={self.timeout}, max_retries={self.max_retries})")
 
+    # -- health --------------------------------------------------------- #
+
+    def health_stats(self) -> dict:
+        """Per-replica health: circuits, failovers, probes, last errors.
+
+        Lock-free reads of live counters — numbers may trail in-flight
+        requests by one, which is the right trade for a monitoring surface.
+        """
+        shards = []
+        total_failovers = 0
+        total_requests = 0
+        for shard_id, replicas in enumerate(self._replicas):
+            replica_stats = [replica.snapshot() for replica in replicas]
+            failovers = sum(stat["failovers"] for stat in replica_stats)
+            total_failovers += failovers
+            total_requests += sum(stat["requests"] for stat in replica_stats)
+            shards.append({
+                "shard_id": shard_id,
+                "replicas": replica_stats,
+                "failovers": failovers,
+                "healthy_replicas": sum(
+                    1 for stat in replica_stats
+                    if stat["circuit"] == "closed"),
+            })
+        return {
+            "num_shards": self.num_shards,
+            "replicas_per_shard": [len(replicas)
+                                   for replicas in self._replicas],
+            "requests": total_requests,
+            "failovers": total_failovers,
+            "shards": shards,
+        }
+
     # -- transport ------------------------------------------------------ #
 
     def _address_text(self) -> str:
-        return ", ".join(f"{host}:{port}" for host, port in self.addresses)
+        return "; ".join(
+            ",".join(f"{host}:{port}" for host, port in replica_set)
+            for replica_set in self.replica_sets)
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Capped full-jitter exponential backoff before retry ``attempt``.
+
+        Full jitter (uniform over ``[0, cap]``) decorrelates the retry
+        storms of many routers hammering a recovering fleet; the
+        ``max_backoff`` cap bounds the worst-case stall a single request
+        can add.  Seeded via ``jitter_seed`` so tests can pin the exact
+        sleep sequence.
+        """
+        ceiling = min(self.max_backoff,
+                      self.retry_backoff * (2 ** (attempt - 1)))
+        if ceiling <= 0:
+            return 0.0
+        with self._jitter_lock:
+            return self._jitter_rng.uniform(0.0, ceiling)
 
     @staticmethod
     def _encode_request(kind: str, request: tuple) -> bytes:
@@ -548,19 +792,18 @@ class RemoteExecutor(_ExecutorBase):
             arrays["extra_rows"], arrays["extra_cols"] = extra
         return encode_message(kind, fields, arrays)
 
-    def _connect(self, shard_id: int) -> socket.socket:
-        """The persistent (handshaken) socket for one shard, dialing if
-        needed.  Caller holds the shard lock."""
-        sock = self._socks[shard_id]
-        if sock is not None:
-            return sock
-        host, port = self.addresses[shard_id]
+    def _connect(self, replica: _ReplicaState) -> socket.socket:
+        """The persistent (handshaken) socket for one replica, dialing if
+        needed.  Caller holds the replica lock."""
+        if replica.sock is not None:
+            return replica.sock
+        host, port = replica.address
         sock = socket.create_connection((host, port), timeout=self.timeout)
         try:
             sock.settimeout(self.timeout)
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.sendall(encode_message("handshake", {
-                "protocol": PROTOCOL_VERSION, "shard_id": shard_id,
+                "protocol": PROTOCOL_VERSION, "shard_id": replica.shard_id,
                 "num_shards": self.num_shards, "policy": self.policy,
                 "fingerprint": self.fingerprint}))
             kind, fields, _ = _recv_message(sock)
@@ -569,67 +812,145 @@ class RemoteExecutor(_ExecutorBase):
             raise
         if kind == "error":
             # Deterministic rejection (stale snapshot, bad geometry,
-            # protocol skew): raise RemoteShardError, which the retry loop
-            # deliberately does not catch.
+            # protocol skew): this replica must never serve.  The caller
+            # disqualifies it and fails over to a sibling.
             sock.close()
-            raise RemoteShardError(
-                f"shard {shard_id} at {host}:{port} rejected the handshake: "
+            raise ReplicaRejectedError(
+                f"shard {replica.shard_id} replica at {host}:{port} "
+                f"rejected the handshake: "
                 f"{fields.get('message', 'no reason given')}")
         if kind != "handshake_ok":
             sock.close()
             raise RemoteProtocolError(
-                f"shard {shard_id} at {host}:{port} answered the handshake "
-                f"with {kind!r}")
-        self._socks[shard_id] = sock
+                f"shard {replica.shard_id} replica at {host}:{port} "
+                f"answered the handshake with {kind!r}")
+        replica.sock = sock
         return sock
 
-    def _drop(self, shard_id: int) -> None:
-        sock = self._socks[shard_id]
-        if sock is not None:
+    @staticmethod
+    def _drop(replica: _ReplicaState) -> None:
+        if replica.sock is not None:
             try:
-                sock.close()
+                replica.sock.close()
             except OSError:  # pragma: no cover - close never really fails
                 pass
-            self._socks[shard_id] = None
+            replica.sock = None
+
+    def _replica_order(self, shard_id: int) -> List[_ReplicaState]:
+        """The shard's replicas, rotated so the sticky preference is first."""
+        replicas = self._replicas[shard_id]
+        start = self._preferred[shard_id] % len(replicas)
+        return replicas[start:] + replicas[:start]
+
+    def _record_failure(self, replica: _ReplicaState,
+                        error: BaseException, *, probing: bool,
+                        has_siblings: bool) -> None:
+        """Count one transport fault and drive the circuit breaker."""
+        with replica.lock:
+            self._drop(replica)
+            replica.failures += 1
+            replica.consecutive_failures += 1
+            replica.last_error = f"{type(error).__name__}: {error}"
+            if has_siblings:
+                replica.failovers += 1
+            if (probing
+                    or replica.consecutive_failures >= self.breaker_threshold):
+                # A failed half-open probe re-opens immediately; otherwise
+                # the threshold of consecutive faults trips the breaker.
+                replica.circuit = "open"
+                replica.opened_at = time.monotonic()
 
     def _request(self, shard_id: int, message: bytes):
-        """One request/reply round trip with bounded reconnect-and-retry."""
-        host, port = self.addresses[shard_id]
+        """One round trip: sticky replica first, failover on transport
+        faults, capped jittered backoff between sweeps of the replica set."""
+        replicas = self._replicas[shard_id]
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_retries + 1):
-            if attempt and self.retry_backoff:
-                time.sleep(self.retry_backoff * (2 ** (attempt - 1)))
-            try:
-                with self._locks[shard_id]:
-                    sock = self._connect(shard_id)
-                    sock.sendall(message)
-                    kind, fields, arrays = _recv_message(sock)
-            except RemoteProtocolError as error:
-                # Transport desync (garbled frame): as unusable as a reset.
-                with self._locks[shard_id]:
-                    self._drop(shard_id)
-                last_error = error
-                continue
-            except RemoteShardError:
-                # Deterministic rejection from _connect — not retryable.
-                raise
-            except OSError as error:
-                # Transport fault: the connection (and anything buffered on
-                # it) is unusable.  Drop it and retry from a clean dial.
-                with self._locks[shard_id]:
-                    self._drop(shard_id)
-                last_error = error
-                continue
-            if kind == "error":
-                # The shard ran the request and failed deterministically —
-                # retrying would re-fail identically.
-                raise RemoteShardError(
-                    f"shard {shard_id} at {host}:{port} failed: "
-                    f"{fields.get('message', 'no reason given')}")
-            return self._decode_result(shard_id, kind, arrays)
+            if attempt:
+                delay = self._backoff_delay(attempt)
+                if delay:
+                    time.sleep(delay)
+            for replica in self._replica_order(shard_id):
+                if replica.rejected:
+                    continue
+                probing = False
+                with replica.lock:
+                    if replica.circuit == "open":
+                        elapsed = time.monotonic() - replica.opened_at
+                        if (elapsed < self.breaker_cooldown
+                                and any(sibling.circuit == "closed"
+                                        and not sibling.rejected
+                                        for sibling in replicas)):
+                            # Cooling off, and a healthy sibling exists to
+                            # take the request.  (With no healthy sibling we
+                            # probe anyway: guessing beats guaranteed
+                            # failure.)
+                            continue
+                        probing = True
+                        replica.probes += 1
+                if self.fault_plan is not None:
+                    action = self.fault_plan.advance("client.request")
+                    if action is not None:
+                        if action.kind == "delay":
+                            time.sleep(float(action.param("seconds", 0.05)))
+                        elif action.kind == "reset":
+                            error = ConnectionResetError(
+                                "injected client-side connection reset")
+                            self._record_failure(
+                                replica, error, probing=probing,
+                                has_siblings=len(replicas) > 1)
+                            last_error = error
+                            continue
+                        else:
+                            raise ValueError(f"unknown client fault kind "
+                                             f"{action.kind!r}")
+                try:
+                    with replica.lock:
+                        sock = self._connect(replica)
+                        sock.sendall(message)
+                        kind, fields, arrays = _recv_message(sock)
+                except ReplicaRejectedError as error:
+                    # Deterministic: this replica can never serve this
+                    # executor.  Disqualify it and try a sibling.
+                    with replica.lock:
+                        replica.rejected = True
+                        replica.last_error = str(error)
+                    last_error = error
+                    continue
+                except (RemoteProtocolError, OSError) as error:
+                    # Transport fault (reset, timeout, garbled frame): the
+                    # connection is unusable.  Fail over to the next
+                    # replica; a later sweep may retry this one.
+                    self._record_failure(replica, error, probing=probing,
+                                         has_siblings=len(replicas) > 1)
+                    last_error = error
+                    continue
+                if kind == "error":
+                    # The replica ran the request and failed
+                    # deterministically — every replica holds the same
+                    # shard, so failing over would re-fail identically.
+                    raise RemoteShardError(
+                        f"shard {shard_id} at {replica.label} failed: "
+                        f"{fields.get('message', 'no reason given')}")
+                with replica.lock:
+                    replica.requests += 1
+                    replica.consecutive_failures = 0
+                    if probing:
+                        replica.probe_successes += 1
+                    replica.circuit = "closed"
+                self._preferred[shard_id] = replica.replica_id
+                return self._decode_result(shard_id, kind, arrays)
+            if all(replica.rejected for replica in replicas):
+                # Nothing left to retry: every replica is deterministically
+                # disqualified, so backing off cannot help.
+                break
+        detail = "; ".join(
+            f"{replica.label}: {replica.last_error or 'not attempted'}"
+            for replica in replicas)
         raise RemoteShardError(
-            f"shard {shard_id} at {host}:{port} unreachable after "
-            f"{self.max_retries + 1} attempt(s): {last_error}") from last_error
+            f"shard {shard_id} exhausted all {len(replicas)} replica(s) "
+            f"after {self.max_retries + 1} sweep(s) ({detail})"
+        ) from last_error
 
     def _decode_result(self, shard_id: int, kind: str, arrays: dict):
         if kind == "top_k_result":
@@ -645,10 +966,13 @@ class RemoteExecutor(_ExecutorBase):
 # ---------------------------------------------------------------------- #
 
 def _serve_shard_process(snapshot_path: str, shard_id: int, num_shards: int,
-                         policy: str, host: str, request_delay_s: float,
+                         policy: str, host: str,
+                         fault_plan: Optional[FaultPlan],
                          conn) -> None:  # pragma: no cover - child process
     server = ShardServer(snapshot_path, shard_id, num_shards, policy=policy,
-                         host=host, port=0, request_delay_s=request_delay_s)
+                         host=host, port=0, fault_plan=fault_plan)
+    # A dedicated server process dies for real on an injected crash.
+    server._crash_hard = True
     conn.send(server.address)
     conn.close()
     server.serve_forever()
@@ -656,14 +980,17 @@ def _serve_shard_process(snapshot_path: str, shard_id: int, num_shards: int,
 
 def spawn_shard_server(snapshot_path, shard_id: int, num_shards: int, *,
                        policy: str = "contiguous", host: str = "127.0.0.1",
-                       request_delay_s: float = 0.0, start_timeout: float = 30.0):
+                       fault_plan: Optional[FaultPlan] = None,
+                       start_timeout: float = 30.0):
     """Launch a :class:`ShardServer` in its own process.
 
     Returns ``(process, (host, port))`` once the child has bound its
     ephemeral port.  The child is a daemon: killing it (fault injection) or
-    letting the parent exit reaps it.  Production deployments use the
+    letting the parent exit reaps it, and a ``fault_plan`` travels into the
+    child by pickle so scheduled faults (including hard ``crash``) happen in
+    true process isolation.  Production deployments use the
     ``repro shard-server`` CLI instead; this helper exists so tests and
-    benchmarks can exercise true process isolation cheaply.
+    benchmarks can exercise process-level faults cheaply.
     """
     import multiprocessing
 
@@ -671,7 +998,7 @@ def spawn_shard_server(snapshot_path, shard_id: int, num_shards: int, *,
     process = multiprocessing.Process(
         target=_serve_shard_process,
         args=(str(snapshot_path), int(shard_id), int(num_shards), policy,
-              host, float(request_delay_s), child_conn),
+              host, fault_plan, child_conn),
         daemon=True)
     process.start()
     child_conn.close()

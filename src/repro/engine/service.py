@@ -105,9 +105,11 @@ class RecommendationService:
         from a string or builds from ``parallel`` and shuts it down in
         :meth:`close` / ``with`` exit.
     shard_addresses:
-        ``host:port`` shard-server addresses, one per shard *in shard
-        order*, for ``executor="remote"`` (implied when given).
-        ``num_shards`` left at 1 is inferred as ``len(shard_addresses)``.
+        One replica set per shard *in shard order*, for
+        ``executor="remote"`` (implied when given): ``"host:port"`` for a
+        single replica, ``"h1:p1,h2:p2"`` or ``["h1:p1", "h2:p2"]`` for
+        redundant replicas the executor fails over across.  ``num_shards``
+        left at 1 is inferred as ``len(shard_addresses)``.
     candidate_mode:
         ``None`` (default) serves exact top-K.  ``"int8"`` / ``"float32"``
         switch top-K to the two-stage quantised-candidates + exact-rescoring
@@ -171,8 +173,13 @@ class RecommendationService:
         if (candidate_mode is not None
                 and self.max_candidate_factor < self.candidate_factor):
             raise ValueError("max_candidate_factor must be >= candidate_factor")
-        self.shard_addresses = None if shard_addresses is None else \
-            [str(address) for address in shard_addresses]
+        # Each entry is one shard's replica set: a "host:port" string (commas
+        # separate replicas), an (host, port) pair, or an explicit list of
+        # replicas.  List-shaped entries pass through untouched so the
+        # remote executor can parse them; everything else normalises to str.
+        self.shard_addresses = None if shard_addresses is None else [
+            entry if isinstance(entry, (tuple, list)) else str(entry)
+            for entry in shard_addresses]
         if self.shard_addresses is not None:
             if not self.shard_addresses:
                 raise ValueError("shard_addresses must name at least one "
@@ -338,6 +345,15 @@ class RecommendationService:
             "escalated_users": backend.escalated_users,
             "exact_fallback_users": backend.exact_fallback_users,
         }
+
+    def health_stats(self) -> Optional[dict]:
+        """Replica health from the remote executor, or ``None`` when serving
+        is local (there are no replicas to monitor)."""
+        executor = self._executor
+        if getattr(executor, "is_remote", False) \
+                and hasattr(executor, "health_stats"):
+            return executor.health_stats()
+        return None
 
     @property
     def _backend(self):

@@ -1,0 +1,382 @@
+"""Durable write-ahead log for online ingest events.
+
+:class:`~repro.engine.online.OnlineRecommendationService` acknowledges an
+``ingest()`` only after the interaction batch is appended here, so the
+durability contract is simple: **anything acknowledged survives process
+death**.  Recovery replays the log onto the snapshot base and — by the
+compaction-parity invariant — serves bit-identically to the service that
+never crashed.  Anything *not* acknowledged (a crash mid-append) was never
+promised, and the checksummed record framing makes the torn tail
+detectable: recovery keeps exactly the longest prefix of intact records and
+truncates the rest.
+
+On-disk layout (all integers little-endian)::
+
+    header:  b"RWAL" | u32 version
+    record:  u32 payload_len | u32 crc32(payload) | payload
+    payload: u32 count | int64 users[count] | int64 items[count]
+
+Three fsync policies trade durability against append latency:
+
+``always``
+    ``fsync`` after every append — an acknowledged ingest survives even an
+    OS crash.
+``batch`` (default)
+    flush to the OS after every append (survives *process* death), with an
+    ``fsync`` every ``batch_interval`` appends and at every rotate/close.
+``off``
+    flush only; for benchmarks and tests that measure the framing cost.
+
+The log stays bounded through :meth:`rotate`: after a snapshot publish
+captures the compacted state, every record at or below the captured byte
+offset is already baked into the snapshot, so the log rewrites itself to
+just the tail beyond that mark (atomically, via a fsynced temp file and
+``os.replace``).
+
+Fault injection: an attached :class:`~repro.engine.faults.FaultPlan` is
+consulted at site ``"wal.append"``; a ``torn_write`` action persists only a
+prefix of the encoded record and raises :class:`WalTornWrite`, simulating a
+crash in the middle of a write so recovery paths are testable
+deterministically.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import threading
+import zlib
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalError",
+    "WalTornWrite",
+    "WriteAheadLog",
+    "read_wal_records",
+]
+
+_MAGIC = b"RWAL"
+_VERSION = 1
+_HEADER = struct.Struct("<4sI")
+_RECORD_PREFIX = struct.Struct("<II")  # payload_len, crc32(payload)
+_COUNT = struct.Struct("<I")
+
+#: Hard sanity cap on one record's payload: a length field beyond this is
+#: treated as tail corruption, not an instruction to allocate gigabytes.
+_MAX_PAYLOAD = 1 << 30
+
+FSYNC_POLICIES = ("always", "batch", "off")
+
+
+class WalError(RuntimeError):
+    """The write-ahead log is unusable (bad header, closed, post-crash)."""
+
+
+class WalTornWrite(WalError):
+    """An injected torn write: the record was only partially persisted."""
+
+
+def _encode_payload(users: np.ndarray, items: np.ndarray) -> bytes:
+    count = int(users.shape[0])
+    return (_COUNT.pack(count)
+            + np.ascontiguousarray(users, dtype=np.int64).tobytes()
+            + np.ascontiguousarray(items, dtype=np.int64).tobytes())
+
+
+def _decode_payload(payload: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    (count,) = _COUNT.unpack_from(payload, 0)
+    expected = _COUNT.size + 2 * 8 * count
+    if len(payload) != expected:
+        raise WalError(
+            f"WAL payload length mismatch: header says {count} pairs "
+            f"({expected} bytes), got {len(payload)} bytes")
+    users = np.frombuffer(payload, dtype=np.int64, count=count,
+                          offset=_COUNT.size)
+    items = np.frombuffer(payload, dtype=np.int64, count=count,
+                          offset=_COUNT.size + 8 * count)
+    return users.copy(), items.copy()
+
+
+def _encode_record(users: np.ndarray, items: np.ndarray) -> bytes:
+    payload = _encode_payload(users, items)
+    return (_RECORD_PREFIX.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload)
+
+
+def _scan(buffer: bytes) -> Tuple[List[Tuple[np.ndarray, np.ndarray]], int]:
+    """All intact records and the byte offset where the durable prefix ends.
+
+    Anything after the returned offset failed a length, checksum, or
+    payload-consistency check — by construction that can only be the torn
+    tail of the final append, so the caller truncates it.
+    """
+    records: List[Tuple[np.ndarray, np.ndarray]] = []
+    offset = _HEADER.size
+    while True:
+        prefix_end = offset + _RECORD_PREFIX.size
+        if prefix_end > len(buffer):
+            break
+        payload_len, crc = _RECORD_PREFIX.unpack_from(buffer, offset)
+        if payload_len > _MAX_PAYLOAD:
+            break
+        payload_end = prefix_end + payload_len
+        if payload_end > len(buffer):
+            break
+        payload = buffer[prefix_end:payload_end]
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            break
+        try:
+            records.append(_decode_payload(payload))
+        except WalError:
+            break
+        offset = payload_end
+    return records, offset
+
+
+def read_wal_records(path) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Every intact ``(users, items)`` record in the log at ``path``.
+
+    Read-only: torn tails are ignored but not truncated.  An empty or
+    missing file yields no records; a file that exists but does not start
+    with the WAL header raises :class:`WalError` (refusing to "recover"
+    zero events from a file that was never a WAL).
+    """
+    try:
+        buffer = _read_bytes(path)
+    except FileNotFoundError:
+        return []
+    if not buffer:
+        return []
+    _check_header(buffer, path)
+    records, _ = _scan(buffer)
+    return records
+
+
+def _read_bytes(path) -> bytes:
+    with open(path, "rb") as handle:
+        return handle.read()
+
+
+def _check_header(buffer: bytes, path) -> None:
+    if len(buffer) < _HEADER.size:
+        raise WalError(f"{path}: truncated WAL header "
+                       f"({len(buffer)} < {_HEADER.size} bytes)")
+    magic, version = _HEADER.unpack_from(buffer, 0)
+    if magic != _MAGIC:
+        raise WalError(f"{path}: not a WAL file (bad magic {magic!r})")
+    if version != _VERSION:
+        raise WalError(f"{path}: unsupported WAL version {version} "
+                       f"(expected {_VERSION})")
+
+
+class WriteAheadLog:
+    """Append-only, checksummed, crash-recoverable ingest log.
+
+    Opening an existing log recovers it: intact records become
+    :attr:`recovered` (for the service to replay) and a torn tail — a crash
+    mid-append — is truncated away before the log accepts new appends.
+    Thread-safe; appends, rotation, and stats share one lock because
+    snapshot publishing (which rotates) runs on a background thread while
+    the foreground keeps ingesting.
+    """
+
+    def __init__(self, path, *, fsync: str = "batch",
+                 batch_interval: int = 64, fault_plan=None) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if batch_interval < 1:
+            raise ValueError("batch_interval must be >= 1")
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.batch_interval = int(batch_interval)
+        self.fault_plan = fault_plan
+        self._lock = threading.Lock()
+        self._file: Optional[io.BufferedWriter] = None
+        self._records = 0
+        self._appends_since_sync = 0
+        self._syncs = 0
+        self._rotations = 0
+        self._truncated_bytes = 0
+        self._last_fsync_record: Optional[int] = None
+        self._broken = False
+
+        self.recovered: List[Tuple[np.ndarray, np.ndarray]] = []
+        try:
+            buffer = _read_bytes(self.path)
+        except FileNotFoundError:
+            buffer = b""
+        if buffer:
+            _check_header(buffer, self.path)
+            self.recovered, durable_end = _scan(buffer)
+            self._truncated_bytes = len(buffer) - durable_end
+            self._records = len(self.recovered)
+            self._file = open(self.path, "r+b")
+            if self._truncated_bytes:
+                self._file.truncate(durable_end)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            self._file.seek(0, os.SEEK_END)
+        else:
+            self._file = open(self.path, "wb")
+            self._file.write(_HEADER.pack(_MAGIC, _VERSION))
+            self._file.flush()
+            if self.fsync != "off":
+                os.fsync(self._file.fileno())
+        self._offset = self._file.tell()
+
+    # -- appends --------------------------------------------------------- #
+
+    def append(self, users: Sequence[int], items: Sequence[int]) -> int:
+        """Durably append one ingest batch; returns the new end offset.
+
+        The durability level is set by the fsync policy; on return under
+        ``always`` the record has hit the disk, under ``batch`` it has hit
+        the OS.  Raises :class:`WalTornWrite` when the attached fault plan
+        schedules a torn write — after which the log refuses further
+        appends, exactly like the crashed process it is simulating.
+        """
+        users = np.ascontiguousarray(users, dtype=np.int64).reshape(-1)
+        items = np.ascontiguousarray(items, dtype=np.int64).reshape(-1)
+        if users.shape != items.shape:
+            raise ValueError("users and items must have matching lengths")
+        record = _encode_record(users, items)
+        with self._lock:
+            self._ensure_open()
+            action = (self.fault_plan.advance("wal.append")
+                      if self.fault_plan is not None else None)
+            if action is not None and action.kind == "torn_write":
+                keep = action.param("keep_bytes")
+                if keep is None:
+                    fraction = float(action.param("keep_fraction", 0.5))
+                    keep = int(len(record) * fraction)
+                keep = max(0, min(int(keep), len(record) - 1))
+                self._file.write(record[:keep])
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._broken = True
+                raise WalTornWrite(
+                    f"injected torn write: {keep}/{len(record)} bytes of "
+                    f"record {self._records} persisted")
+            self._file.write(record)
+            self._file.flush()
+            self._records += 1
+            self._offset += len(record)
+            self._appends_since_sync += 1
+            if self.fsync == "always" or (
+                    self.fsync == "batch"
+                    and self._appends_since_sync >= self.batch_interval):
+                self._fsync_locked()
+            return self._offset
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        with self._lock:
+            self._ensure_open()
+            self._file.flush()
+            self._fsync_locked()
+
+    def _fsync_locked(self) -> None:
+        if self.fsync == "off":
+            self._appends_since_sync = 0
+            return
+        os.fsync(self._file.fileno())
+        self._syncs += 1
+        self._appends_since_sync = 0
+        self._last_fsync_record = self._records
+
+    def _ensure_open(self) -> None:
+        if self._broken:
+            raise WalError("WAL is unusable after a torn write "
+                           "(simulated crash); reopen to recover")
+        if self._file is None:
+            raise WalError("WAL is closed")
+
+    # -- rotation -------------------------------------------------------- #
+
+    def offset(self) -> int:
+        """Current end-of-log byte offset (a valid ``rotate`` mark)."""
+        with self._lock:
+            return self._offset
+
+    def rotate(self, up_to: int) -> int:
+        """Drop every record at or below byte offset ``up_to``.
+
+        Called after a snapshot publish: the publish captured state that
+        already includes all records up to the mark, so only the tail
+        appended *after* the capture still needs the log.  The rewrite goes
+        through a fsynced temp file and ``os.replace`` so a crash mid-rotate
+        leaves either the old log or the new one, never a hybrid.  Returns
+        the number of bytes dropped.
+        """
+        with self._lock:
+            self._ensure_open()
+            if up_to < _HEADER.size or up_to > self._offset:
+                raise ValueError(
+                    f"rotate mark {up_to} outside log bounds "
+                    f"[{_HEADER.size}, {self._offset}]")
+            self._file.flush()
+            if self.fsync != "off":
+                os.fsync(self._file.fileno())
+            with open(self.path, "rb") as reader:
+                reader.seek(up_to)
+                tail = reader.read(self._offset - up_to)
+            tail_records, tail_end = _scan(_HEADER.pack(_MAGIC, _VERSION)
+                                           + tail)
+            if tail_end != _HEADER.size + len(tail):
+                raise ValueError(
+                    f"rotate mark {up_to} is not on a record boundary")
+            tmp_path = self.path + ".rotate.tmp"
+            with open(tmp_path, "wb") as writer:
+                writer.write(_HEADER.pack(_MAGIC, _VERSION))
+                writer.write(tail)
+                writer.flush()
+                os.fsync(writer.fileno())
+            self._file.close()
+            os.replace(tmp_path, self.path)
+            self._file = open(self.path, "r+b")
+            self._file.seek(0, os.SEEK_END)
+            dropped = up_to - _HEADER.size
+            self._offset = self._file.tell()
+            self._records = len(tail_records)
+            self._rotations += 1
+            self._appends_since_sync = 0
+            self._last_fsync_record = None
+            return dropped
+
+    # -- lifecycle / stats ----------------------------------------------- #
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "path": self.path,
+                "fsync": self.fsync,
+                "records": self._records,
+                "bytes": self._offset,
+                "rotations": self._rotations,
+                "syncs": self._syncs,
+                "recovered_records": len(self.recovered),
+                "truncated_bytes": self._truncated_bytes,
+                "last_fsync_record": self._last_fsync_record,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is None:
+                return
+            if not self._broken:
+                self._file.flush()
+                if self.fsync != "off":
+                    os.fsync(self._file.fileno())
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

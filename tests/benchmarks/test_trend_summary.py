@@ -49,6 +49,25 @@ class TestBuildTable:
             {"killed_shard_typed_error": False}])])
         assert "killed shard fails closed (all) | NO" in table
 
+    def test_fault_tolerance_rows(self):
+        table = build_table([_doc("bench_fault_tolerance", [
+            {"availability": 1.0, "failovers": 2, "recovery_s": 0.004,
+             "wal_parity": True, "killed_shard_typed_error": True},
+        ])])
+        assert "availability under kills (min) | 1 " in table
+        assert "failovers survived (max) | 2 " in table
+        assert "WAL recovery s (max) | 4.00e-03" in table
+        assert "WAL recovery parity (all) | yes" in table
+        assert "dead shard fails closed (all) | yes" in table
+
+    def test_fault_tolerance_lost_availability_renders_loudly(self):
+        table = build_table([_doc("bench_fault_tolerance", [
+            {"availability": 1.0, "wal_parity": True},
+            {"availability": 0.8, "wal_parity": False},
+        ])])
+        assert "availability under kills (min) | 8.00e-01" in table
+        assert "WAL recovery parity (all) | NO" in table
+
     def test_unknown_benchmark_falls_back_to_row_count(self):
         table = build_table([_doc("bench_future_thing", [{"x": 1}, {"x": 2}])])
         assert "| future_thing | result rows | 2 | — |" in table

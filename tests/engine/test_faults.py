@@ -1,0 +1,150 @@
+"""Tests for the deterministic fault-injection harness (repro.engine.faults).
+
+The harness's contract is determinism: the same plan observing the same
+sequence of operations injects the same faults — across runs, threads, and
+process boundaries (pickle).  Everything the serving stack's fault-tolerance
+tests claim rests on that.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.engine import FaultAction, FaultPlan, FaultRule
+
+
+class TestFaultRule:
+    def test_at_matches_exact_indices(self):
+        rule = FaultRule("site", "reset", at=3)
+        assert not rule.matches(2)
+        assert rule.matches(3)
+        assert not rule.matches(4)
+
+    def test_at_accepts_iterables(self):
+        rule = FaultRule("site", "reset", at=(1, 4))
+        assert [index for index in range(6) if rule.matches(index)] == [1, 4]
+
+    def test_after_matches_every_later_index(self):
+        rule = FaultRule("site", "reset", after=2)
+        assert [index for index in range(5) if rule.matches(index)] == [2, 3, 4]
+
+    def test_no_window_matches_everything(self):
+        rule = FaultRule("site", "reset")
+        assert all(rule.matches(index) for index in range(5))
+
+    def test_count_bounds_firings(self):
+        rule = FaultRule("site", "reset", count=2)
+        assert rule.matches(0)
+        rule.fired = 2
+        assert not rule.matches(0)
+
+    def test_at_and_after_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            FaultRule("site", "reset", at=1, after=2)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError, match="count"):
+            FaultRule("site", "reset", count=0)
+        with pytest.raises(ValueError, match="after"):
+            FaultRule("site", "reset", after=-1)
+
+
+class TestFaultPlan:
+    def test_advance_ticks_one_counter_per_site(self):
+        plan = FaultPlan()
+        for _ in range(3):
+            plan.advance("a")
+        plan.advance("b")
+        assert plan.requests_seen("a") == 3
+        assert plan.requests_seen("b") == 1
+        assert plan.requests_seen("never-seen") == 0
+
+    def test_scheduled_fault_fires_at_its_index_only(self):
+        plan = FaultPlan().inject("site", "delay", at=1, seconds=0.25)
+        assert plan.advance("site") is None
+        action = plan.advance("site")
+        assert isinstance(action, FaultAction)
+        assert action.kind == "delay"
+        assert action.index == 1
+        assert action.param("seconds") == 0.25
+        assert action.param("missing", "default") == "default"
+        assert plan.advance("site") is None
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan().inject("a", "reset", at=0)
+        assert plan.advance("b") is None  # does not consume a's index 0
+        assert plan.advance("a").kind == "reset"
+
+    def test_first_matching_rule_wins(self):
+        plan = (FaultPlan()
+                .inject("site", "reset", at=0)
+                .inject("site", "garble", at=0))
+        assert plan.advance("site").kind == "reset"
+
+    def test_count_limits_an_unbounded_rule(self):
+        plan = FaultPlan().inject("site", "reset", count=2)
+        kinds = [getattr(plan.advance("site"), "kind", None) for _ in range(4)]
+        assert kinds == ["reset", "reset", None, None]
+
+    def test_fired_log_is_chronological(self):
+        plan = (FaultPlan()
+                .inject("a", "reset", at=1)
+                .inject("b", "garble", at=0))
+        plan.advance("a")
+        plan.advance("b")
+        plan.advance("a")
+        assert plan.fired == [("b", 0, "garble"), ("a", 1, "reset")]
+
+    def test_stats_counts_operations_and_injections(self):
+        plan = FaultPlan(seed=7).inject("site", "reset", after=1)
+        for _ in range(3):
+            plan.advance("site")
+        stats = plan.stats()
+        assert stats["seed"] == 7
+        assert stats["rules"] == 1
+        assert stats["operations"] == {"site": 3}
+        assert stats["injected"] == {"site": 2}
+        assert stats["fired"] == 2
+
+    def test_seeded_rng_is_reproducible(self):
+        draws_a = [FaultPlan(seed=11).rng.random() for _ in range(1)]
+        draws_b = [FaultPlan(seed=11).rng.random() for _ in range(1)]
+        assert draws_a == draws_b
+
+    def test_pickle_round_trip_continues_the_schedule(self):
+        plan = FaultPlan(seed=5).inject("site", "reset", at=(1, 3))
+        plan.advance("site")  # index 0: no fault
+        plan.advance("site")  # index 1: fires
+        clone = pickle.loads(pickle.dumps(plan))
+        # The clone resumes at index 2 with the history intact.
+        assert clone.requests_seen("site") == 2
+        assert clone.fired == [("site", 1, "reset")]
+        assert clone.advance("site") is None        # index 2
+        assert clone.advance("site").kind == "reset"  # index 3
+        # ...and it can be advanced concurrently (the lock was recreated).
+        threads = [threading.Thread(target=clone.advance, args=("site",))
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert clone.requests_seen("site") == 12
+
+    def test_concurrent_advance_never_loses_a_tick(self):
+        plan = FaultPlan().inject("site", "reset", at=500)
+        fired = []
+
+        def worker():
+            for _ in range(100):
+                action = plan.advance("site")
+                if action is not None:
+                    fired.append(action)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert plan.requests_seen("site") == 800
+        assert len(fired) == 1  # exactly one thread drew index 500

@@ -15,6 +15,7 @@ import numpy as np
 import pytest
 
 from repro.engine import (
+    FaultPlan,
     InferenceIndex,
     OnlineRecommendationService,
     PROTOCOL_VERSION,
@@ -22,6 +23,7 @@ from repro.engine import (
     RemoteExecutor,
     RemoteProtocolError,
     RemoteShardError,
+    ReplicaRejectedError,
     SerialExecutor,
     ShardServer,
     ShardedInferenceIndex,
@@ -35,6 +37,7 @@ from repro.engine.remote import (
     decode_message,
     encode_message,
     parse_address,
+    parse_replica_set,
 )
 from repro.models import BprMF
 
@@ -134,6 +137,19 @@ class TestProtocol:
         for bad in ("no-port", ":80", "host:notaport", "host:0", "host:70000"):
             with pytest.raises(ValueError):
                 parse_address(bad)
+
+    def test_parse_replica_set(self):
+        assert parse_replica_set("h:1") == [("h", 1)]
+        assert parse_replica_set("h1:1, h2:2") == [("h1", 1), ("h2", 2)]
+        assert parse_replica_set(("h", 8080)) == [("h", 8080)]
+        assert parse_replica_set(["h1:1", ("h2", 2)]) == [("h1", 1),
+                                                          ("h2", 2)]
+        with pytest.raises(ValueError, match="empty"):
+            parse_replica_set([])
+        with pytest.raises(ValueError, match="empty"):
+            parse_replica_set(" , ")
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_replica_set("h:1,h:1")
 
 
 class TestFingerprint:
@@ -420,10 +436,12 @@ class TestFaults:
                                            port=port).start()
 
         thread = threading.Thread(target=launch_later, daemon=True)
+        # jitter_seed pins the backoff sleep sequence (full jitter would
+        # otherwise make the elapsed-time assertion flaky).
         executor = RemoteExecutor([f"127.0.0.1:{port}"],
                                   snapshot_path=snap_path,
                                   timeout=2.0, max_retries=6,
-                                  retry_backoff=0.1)
+                                  retry_backoff=0.1, jitter_seed=0)
         try:
             thread.start()
             start = time.perf_counter()
@@ -442,25 +460,30 @@ class TestFaults:
             holder["server"].close()
 
     def test_request_timeout_is_a_typed_error(self, snap_path):
-        with ShardServer(snap_path, 0, 1, request_delay_s=1.0).start() \
+        # FaultPlan delay beyond the client timeout on every request: the
+        # one fault-injection seam, replacing the old request_delay_s knob.
+        plan = FaultPlan(seed=1).inject("server.request", "delay",
+                                        seconds=1.0)
+        with ShardServer(snap_path, 0, 1, fault_plan=plan).start() \
                 as server:
             executor = RemoteExecutor(["{}:{}".format(*server.address)],
                                       timeout=0.1, max_retries=1,
-                                      retry_backoff=0.01)
+                                      retry_backoff=0.01, jitter_seed=0)
             with executor:
                 start = time.perf_counter()
-                with pytest.raises(RemoteShardError, match="unreachable"):
+                with pytest.raises(RemoteShardError, match="exhausted"):
                     executor.fan_out("top_k", np.zeros(1, dtype=np.int64),
                                      1, False, None, None)
                 # Bounded: 2 attempts x 0.1s timeout + backoff, not hanging.
                 assert time.perf_counter() - start < 3.0
+        assert plan.requests_seen("server.request") >= 1
 
     def test_unreachable_address_exhausts_retries(self):
         executor = RemoteExecutor([f"127.0.0.1:{_free_port()}"],
                                   timeout=0.2, max_retries=2,
-                                  retry_backoff=0.01)
+                                  retry_backoff=0.01, jitter_seed=0)
         with executor:
-            with pytest.raises(RemoteShardError, match="3 attempt"):
+            with pytest.raises(RemoteShardError, match="3 sweep"):
                 executor.fan_out("top_k", np.zeros(1, dtype=np.int64), 1,
                                  False, None, None)
 
@@ -475,6 +498,232 @@ class TestFaults:
             with pytest.raises(RemoteShardError, match="failed"):
                 executor.fan_out("top_k", bad_users, 1, False, None, None)
             assert time.perf_counter() - start < 2.0
+
+    def test_garbled_frame_is_retried_as_transport_fault(self, snap_path,
+                                                         index):
+        # One garbled reply (unparseable frame), then clean service: the
+        # client must treat the desync as a transport fault and recover.
+        plan = FaultPlan(seed=5).inject("server.request", "garble", at=0)
+        with ShardServer(snap_path, 0, 1, fault_plan=plan).start() as server:
+            executor = RemoteExecutor(["{}:{}".format(*server.address)],
+                                      snapshot_path=snap_path, timeout=2.0,
+                                      max_retries=3, retry_backoff=0.01,
+                                      jitter_seed=0)
+            users = np.arange(5, dtype=np.int64)
+            with executor:
+                results = executor.fan_out("top_k", users, K, True,
+                                           None, None)
+            assert np.array_equal(results[0][0],
+                                  index.top_k(users, K, exclude_train=True))
+        assert ("server.request", 0, "garble") in plan.fired
+
+
+class TestReplicaFailover:
+    """Tentpole: replica faults fail over without ever changing results."""
+
+    def _pair(self, snap_path, plan=None):
+        """Two same-shard replicas; the first carries the fault plan."""
+        first = ShardServer(snap_path, 0, 1, fault_plan=plan).start()
+        second = ShardServer(snap_path, 0, 1).start()
+        replica_set = [["{}:{}".format(*first.address),
+                        "{}:{}".format(*second.address)]]
+        return first, second, replica_set
+
+    def test_failover_to_sibling_is_transparent_and_bit_identical(
+            self, snap_path, index):
+        plan = FaultPlan(seed=2).inject("server.request", "reset", after=1)
+        first, second, replica_set = self._pair(snap_path, plan)
+        users = np.arange(index.num_users, dtype=np.int64)
+        want = index.top_k(users, K, exclude_train=True)
+        try:
+            with RemoteExecutor(replica_set, snapshot_path=snap_path,
+                                timeout=2.0, max_retries=3,
+                                retry_backoff=0.01, jitter_seed=0) as executor:
+                for _ in range(5):
+                    results = executor.fan_out("top_k", users, K, True,
+                                               None, None)
+                    assert np.array_equal(results[0][0], want)
+                health = executor.health_stats()
+                assert health["failovers"] >= 1
+                replicas = health["shards"][0]["replicas"]
+                # The sticky preference moved to the healthy sibling.
+                assert replicas[1]["requests"] >= 4
+                assert replicas[0]["failures"] >= 1
+        finally:
+            first.close()
+            second.close()
+
+    def test_exhausted_replica_set_fails_closed(self, snap_path):
+        # Both replicas reset every request: the typed error must name the
+        # whole replica set, and no partial result may escape.
+        plan_a = FaultPlan(seed=3).inject("server.request", "reset")
+        plan_b = FaultPlan(seed=4).inject("server.request", "reset")
+        first = ShardServer(snap_path, 0, 1, fault_plan=plan_a).start()
+        second = ShardServer(snap_path, 0, 1, fault_plan=plan_b).start()
+        replica_set = [["{}:{}".format(*first.address),
+                        "{}:{}".format(*second.address)]]
+        try:
+            with RemoteExecutor(replica_set, snapshot_path=snap_path,
+                                timeout=1.0, max_retries=1,
+                                retry_backoff=0.01, jitter_seed=0) as executor:
+                with pytest.raises(RemoteShardError,
+                                   match="exhausted all 2 replica"):
+                    executor.fan_out("top_k", np.zeros(1, dtype=np.int64),
+                                     1, False, None, None)
+        finally:
+            first.close()
+            second.close()
+
+    def test_stale_replica_is_skipped_never_served(self, snap_path,
+                                                   other_snap_path, index):
+        # Replica 0 serves a different snapshot: its handshake rejection
+        # must disqualify it (circuit "rejected"), with the fresh sibling
+        # serving the exact results — a stale replica is never merged.
+        stale = ShardServer(other_snap_path, 0, 1).start()
+        fresh = ShardServer(snap_path, 0, 1).start()
+        replica_set = [["{}:{}".format(*stale.address),
+                        "{}:{}".format(*fresh.address)]]
+        users = np.arange(10, dtype=np.int64)
+        try:
+            with RemoteExecutor(replica_set, snapshot_path=snap_path,
+                                timeout=2.0, jitter_seed=0) as executor:
+                results = executor.fan_out("top_k", users, K, True,
+                                           None, None)
+                assert np.array_equal(
+                    results[0][0], index.top_k(users, K, exclude_train=True))
+                replicas = executor.health_stats()["shards"][0]["replicas"]
+                assert replicas[0]["circuit"] == "rejected"
+                assert "snapshot identity mismatch" in replicas[0]["last_error"]
+        finally:
+            stale.close()
+            fresh.close()
+
+    def test_all_replicas_stale_raises_without_burning_retries(
+            self, snap_path, other_snap_path):
+        stale_a = ShardServer(other_snap_path, 0, 1).start()
+        stale_b = ShardServer(other_snap_path, 0, 1).start()
+        replica_set = [["{}:{}".format(*stale_a.address),
+                        "{}:{}".format(*stale_b.address)]]
+        try:
+            executor = RemoteExecutor(replica_set, snapshot_path=snap_path,
+                                      timeout=2.0, max_retries=6,
+                                      retry_backoff=0.3, jitter_seed=0)
+            start = time.perf_counter()
+            with executor, pytest.raises(RemoteShardError,
+                                         match="rejected the handshake"):
+                executor.fan_out("top_k", np.zeros(1, dtype=np.int64), 1,
+                                 False, None, None)
+            # Deterministic rejections must short-circuit the retry budget
+            # (6 sweeps x 0.3s+ backoff would take seconds).
+            assert time.perf_counter() - start < 2.0
+        finally:
+            stale_a.close()
+            stale_b.close()
+
+    def test_rejected_error_is_typed(self):
+        assert issubclass(ReplicaRejectedError, RemoteShardError)
+
+    def test_circuit_breaker_opens_then_halfopen_probe_recovers(self,
+                                                                snap_path,
+                                                                index):
+        # Phase 1: the only replica is down → consecutive transport faults
+        # trip the breaker open.  Phase 2: the replica comes back on the
+        # same port; after the cooldown a half-open probe closes the
+        # circuit and serving resumes.
+        port = _free_port()
+        executor = RemoteExecutor([f"127.0.0.1:{port}"],
+                                  snapshot_path=snap_path, timeout=0.5,
+                                  max_retries=2, retry_backoff=0.01,
+                                  breaker_threshold=2,
+                                  breaker_cooldown=0.05, jitter_seed=0)
+        users = np.arange(4, dtype=np.int64)
+        try:
+            with pytest.raises(RemoteShardError):
+                executor.fan_out("top_k", users, K, True, None, None)
+            replica = executor.health_stats()["shards"][0]["replicas"][0]
+            assert replica["circuit"] == "open"
+            assert replica["consecutive_failures"] >= 2
+            server = ShardServer(snap_path, 0, 1, port=port).start()
+            try:
+                time.sleep(0.06)  # past the cooldown: next attempt probes
+                results = executor.fan_out("top_k", users, K, True,
+                                           None, None)
+                assert np.array_equal(
+                    results[0][0], index.top_k(users, K, exclude_train=True))
+                replica = executor.health_stats()["shards"][0]["replicas"][0]
+                assert replica["circuit"] == "closed"
+                assert replica["probes"] >= 1
+                assert replica["probe_successes"] >= 1
+            finally:
+                server.close()
+        finally:
+            executor.close()
+
+    def test_client_fault_plan_reset_forces_failover(self, snap_path, index):
+        # Client-side injection: the request never reaches replica 0's
+        # socket, the executor records the fault and serves from replica 1.
+        first, second, replica_set = self._pair(snap_path)
+        client_plan = FaultPlan(seed=9).inject("client.request", "reset",
+                                               at=0)
+        users = np.arange(6, dtype=np.int64)
+        try:
+            with RemoteExecutor(replica_set, snapshot_path=snap_path,
+                                timeout=2.0, max_retries=2,
+                                retry_backoff=0.01, jitter_seed=0,
+                                fault_plan=client_plan) as executor:
+                results = executor.fan_out("top_k", users, K, True,
+                                           None, None)
+                assert np.array_equal(
+                    results[0][0], index.top_k(users, K, exclude_train=True))
+                assert executor.health_stats()["failovers"] >= 1
+        finally:
+            first.close()
+            second.close()
+        assert ("client.request", 0, "reset") in client_plan.fired
+
+    def test_backoff_is_jittered_capped_and_deterministic(self):
+        executor_a = RemoteExecutor(["h:1"], retry_backoff=0.1,
+                                    max_backoff=0.4, jitter_seed=123)
+        executor_b = RemoteExecutor(["h:1"], retry_backoff=0.1,
+                                    max_backoff=0.4, jitter_seed=123)
+        delays_a = [executor_a._backoff_delay(attempt)
+                    for attempt in range(1, 12)]
+        delays_b = [executor_b._backoff_delay(attempt)
+                    for attempt in range(1, 12)]
+        assert delays_a == delays_b  # seeded: reproducible
+        for attempt, delay in enumerate(delays_a, start=1):
+            assert 0.0 <= delay <= min(0.4, 0.1 * 2 ** (attempt - 1))
+        # Late attempts stay capped instead of growing without bound.
+        assert max(delays_a[6:]) <= 0.4
+        # Different seeds decorrelate the sequences (thundering herd).
+        executor_c = RemoteExecutor(["h:1"], retry_backoff=0.1,
+                                    max_backoff=0.4, jitter_seed=124)
+        assert [executor_c._backoff_delay(a) for a in range(1, 12)] \
+            != delays_a
+        for executor in (executor_a, executor_b, executor_c):
+            executor.close()
+
+    def test_service_accepts_replica_lists_and_surfaces_health(
+            self, snap_path):
+        first, second, _ = self._pair(snap_path)
+        try:
+            replica_set = ["{}:{},{}:{}".format(*first.address,
+                                                *second.address)]
+            users = np.arange(8, dtype=np.int64)
+            with RecommendationService(snapshot=snap_path) as oracle:
+                want = oracle.top_k(users, K)
+            with RecommendationService(snapshot=snap_path, executor="remote",
+                                       shard_addresses=replica_set) as service:
+                assert np.array_equal(service.top_k(users, K), want)
+                health = service.health_stats()
+                assert health["num_shards"] == 1
+                assert health["replicas_per_shard"] == [2]
+            # Local serving has no replicas to monitor.
+            with RecommendationService(snapshot=snap_path) as local:
+                assert local.health_stats() is None
+        finally:
+            first.close()
+            second.close()
 
 
 # --------------------------------------------------------------------- #
@@ -524,6 +773,25 @@ class TestShardServer:
             main(["recommend", "--snapshot", str(snap_path),
                   "--executor", "remote", "--shard-addr", "h:1",
                   "--shards", "3"])
+
+    def test_cli_recommend_replica_set_reports_health(self, snap_path,
+                                                      capsys):
+        import json
+        from repro.cli import main
+        first = ShardServer(snap_path, 0, 1).start()
+        second = ShardServer(snap_path, 0, 1).start()
+        try:
+            addr = "{}:{},{}:{}".format(*first.address, *second.address)
+            assert main(["recommend", "--snapshot", str(snap_path),
+                         "--executor", "remote", "--shard-addr", addr,
+                         "--users", "0,2", "-k", str(K), "--json"]) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["health"]["num_shards"] == 1
+            assert payload["health"]["replicas_per_shard"] == [2]
+            assert payload["health"]["requests"] >= 1
+        finally:
+            first.close()
+            second.close()
 
 
 class TestSingleShardShortCircuit:

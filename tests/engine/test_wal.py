@@ -1,0 +1,268 @@
+"""Tests for the durable ingest write-ahead log (repro.engine.wal).
+
+The durability contract under test: anything ``ingest()`` acknowledged is
+recoverable — a service constructed over the snapshot base plus the WAL
+serves bit-identically to the service that never crashed — and anything not
+acknowledged (a torn final write) is detected by checksum and dropped, never
+half-applied.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    FaultPlan,
+    InferenceIndex,
+    OnlineRecommendationService,
+    WalError,
+    WalTornWrite,
+    WriteAheadLog,
+    read_wal_records,
+    save_snapshot,
+)
+from repro.engine.wal import _HEADER, _MAGIC, _VERSION, _encode_record
+from repro.models import BprMF
+
+K = 6
+
+
+@pytest.fixture(scope="module")
+def snap_path(tiny_split, tmp_path_factory):
+    model = BprMF(tiny_split, embedding_dim=8, seed=2)
+    model.eval()
+    index = InferenceIndex.from_model(model, tiny_split)
+    return save_snapshot(tmp_path_factory.mktemp("wal") / "serve.snap",
+                         index, candidate_modes=("int8",))
+
+
+def _batch(*pairs):
+    users, items = zip(*pairs)
+    return (np.asarray(users, dtype=np.int64),
+            np.asarray(items, dtype=np.int64))
+
+
+class TestWriteAheadLog:
+    def test_append_then_reopen_recovers_every_record(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        batches = [_batch((0, 3), (1, 4)), _batch((2, 5)),
+                   _batch((0, 1), (0, 2), (3, 3))]
+        with WriteAheadLog(path) as wal:
+            for users, items in batches:
+                wal.append(users, items)
+            assert wal.stats()["records"] == 3
+        recovered = WriteAheadLog(path).recovered
+        assert len(recovered) == 3
+        for (users, items), (got_users, got_items) in zip(batches, recovered):
+            np.testing.assert_array_equal(users, got_users)
+            np.testing.assert_array_equal(items, got_items)
+
+    def test_read_wal_records_is_read_only(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(*_batch((1, 2)))
+        size = path.stat().st_size
+        records = read_wal_records(path)
+        assert len(records) == 1
+        assert path.stat().st_size == size
+        assert read_wal_records(tmp_path / "missing.wal") == []
+
+    def test_empty_batches_round_trip(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(np.empty(0, dtype=np.int64),
+                       np.empty(0, dtype=np.int64))
+        recovered = WriteAheadLog(path).recovered
+        assert len(recovered) == 1
+        assert recovered[0][0].size == 0
+
+    def test_not_a_wal_file_is_refused(self, tmp_path):
+        path = tmp_path / "bogus.wal"
+        path.write_bytes(b"definitely not a WAL header")
+        with pytest.raises(WalError, match="bad magic"):
+            WriteAheadLog(path)
+        with pytest.raises(WalError, match="bad magic"):
+            read_wal_records(path)
+
+    def test_wrong_version_is_refused(self, tmp_path):
+        path = tmp_path / "future.wal"
+        path.write_bytes(_HEADER.pack(_MAGIC, _VERSION + 1))
+        with pytest.raises(WalError, match="version"):
+            WriteAheadLog(path)
+
+    def test_torn_tail_is_truncated_and_appends_resume(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        with WriteAheadLog(path) as wal:
+            wal.append(*_batch((0, 1)))
+            wal.append(*_batch((2, 3)))
+        # A crash mid-append: half of a third record hits the disk.
+        torn = _encode_record(*_batch((4, 5)))
+        with open(path, "ab") as handle:
+            handle.write(torn[:len(torn) // 2])
+        wal = WriteAheadLog(path)
+        assert len(wal.recovered) == 2
+        stats = wal.stats()
+        assert stats["truncated_bytes"] == len(torn) // 2
+        assert path.stat().st_size == stats["bytes"]  # physically truncated
+        wal.append(*_batch((6, 7)))  # the log is healthy again
+        wal.close()
+        assert len(read_wal_records(path)) == 3
+
+    def test_fsync_policies(self, tmp_path):
+        with pytest.raises(ValueError, match="fsync"):
+            WriteAheadLog(tmp_path / "x.wal", fsync="sometimes")
+        with WriteAheadLog(tmp_path / "always.wal", fsync="always") as wal:
+            for index in range(3):
+                wal.append(*_batch((index, 0)))
+            assert wal.stats()["syncs"] == 3
+            assert wal.stats()["last_fsync_record"] == 3
+        with WriteAheadLog(tmp_path / "batch.wal", fsync="batch",
+                           batch_interval=2) as wal:
+            for index in range(5):
+                wal.append(*_batch((index, 0)))
+            assert wal.stats()["syncs"] == 2  # after records 2 and 4
+            assert wal.stats()["last_fsync_record"] == 4
+        with WriteAheadLog(tmp_path / "off.wal", fsync="off") as wal:
+            wal.append(*_batch((0, 0)))
+            assert wal.stats()["syncs"] == 0
+
+    def test_rotate_drops_exactly_the_marked_prefix(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        wal = WriteAheadLog(path)
+        wal.append(*_batch((0, 1)))
+        mark = wal.append(*_batch((2, 3)))
+        wal.append(*_batch((4, 5)))
+        dropped = wal.rotate(mark)
+        assert dropped == mark - _HEADER.size
+        assert wal.stats()["records"] == 1
+        assert wal.stats()["rotations"] == 1
+        wal.append(*_batch((6, 7)))
+        wal.close()
+        records = read_wal_records(path)
+        assert len(records) == 2
+        np.testing.assert_array_equal(records[0][0], [4])
+        np.testing.assert_array_equal(records[1][0], [6])
+
+    def test_rotate_rejects_non_boundary_and_out_of_range_marks(self,
+                                                                tmp_path):
+        wal = WriteAheadLog(tmp_path / "ingest.wal")
+        end = wal.append(*_batch((0, 1)))
+        with pytest.raises(ValueError, match="record boundary"):
+            wal.rotate(end - 1)
+        with pytest.raises(ValueError, match="outside log bounds"):
+            wal.rotate(end + 1)
+        with pytest.raises(ValueError, match="outside log bounds"):
+            wal.rotate(0)
+        # Rotating the full log empties it but keeps it writable.
+        wal.rotate(end)
+        assert wal.stats()["records"] == 0
+        wal.append(*_batch((2, 3)))
+        wal.close()
+
+    def test_injected_torn_write_breaks_the_log_until_reopen(self, tmp_path):
+        path = tmp_path / "ingest.wal"
+        plan = FaultPlan(seed=1).inject("wal.append", "torn_write", at=1,
+                                        keep_bytes=5)
+        wal = WriteAheadLog(path, fault_plan=plan)
+        wal.append(*_batch((0, 1)))
+        with pytest.raises(WalTornWrite, match="5/"):
+            wal.append(*_batch((2, 3)))
+        # The "crashed" log refuses to keep going — exactly like the dead
+        # process it simulates.
+        with pytest.raises(WalError, match="torn write"):
+            wal.append(*_batch((4, 5)))
+        wal.close()
+        # Reopen IS recovery: the acknowledged record survives, the torn
+        # bytes are gone.
+        recovered = WriteAheadLog(path)
+        assert len(recovered.recovered) == 1
+        assert recovered.stats()["truncated_bytes"] == 5
+        np.testing.assert_array_equal(recovered.recovered[0][0], [0])
+
+    def test_closed_log_refuses_appends(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "ingest.wal")
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(WalError, match="closed"):
+            wal.append(*_batch((0, 1)))
+
+
+class TestDurableIngest:
+    """Service-level durability: acked == recoverable, bit-identically."""
+
+    def test_recovery_serves_bit_identically_to_the_uncrashed_service(
+            self, snap_path, tmp_path):
+        wal_path = tmp_path / "ingest.wal"
+        batches = [_batch((0, 3), (1, 7)), _batch((2, 2)),
+                   _batch((41, 5), (41, 6))]  # 41 grows the user space
+        with OnlineRecommendationService(snapshot=snap_path,
+                                         wal_path=wal_path) as live:
+            for users, items in batches:
+                live.ingest(users, items)
+            users = np.arange(live.num_users, dtype=np.int64)
+            want = live.top_k(users, K)
+            assert live.wal_stats["records"] == 3
+        # No clean shutdown ritual: construction over base + log IS recovery.
+        with OnlineRecommendationService(snapshot=snap_path,
+                                         wal_path=wal_path) as recovered:
+            assert recovered.wal_replayed == 3
+            assert recovered.num_users == users.size
+            np.testing.assert_array_equal(recovered.top_k(users, K), want)
+            assert recovered.wal_stats["replayed_records"] == 3
+
+    def test_torn_ingest_is_not_acknowledged_and_not_replayed(
+            self, snap_path, tmp_path):
+        wal_path = tmp_path / "ingest.wal"
+        plan = FaultPlan(seed=2).inject("wal.append", "torn_write", at=2,
+                                        keep_fraction=0.6)
+        with OnlineRecommendationService(snapshot=snap_path,
+                                         wal_path=wal_path,
+                                         wal_fault_plan=plan) as crashing:
+            crashing.ingest(*_batch((0, 3)))
+            crashing.ingest(*_batch((1, 4)))
+            with pytest.raises(WalTornWrite):
+                crashing.ingest(*_batch((2, 5)))
+        # The oracle ingested only what was acknowledged.
+        with OnlineRecommendationService(snapshot=snap_path) as oracle:
+            oracle.ingest(*_batch((0, 3)))
+            oracle.ingest(*_batch((1, 4)))
+            users = np.arange(oracle.num_users, dtype=np.int64)
+            want = oracle.top_k(users, K)
+        with OnlineRecommendationService(snapshot=snap_path,
+                                         wal_path=wal_path) as recovered:
+            assert recovered.wal_replayed == 2
+            np.testing.assert_array_equal(recovered.top_k(users, K), want)
+
+    def test_publish_rotates_the_log_and_recovery_still_works(
+            self, snap_path, tmp_path):
+        import shutil
+        live_snap = tmp_path / "live.snap"
+        shutil.copy(snap_path, live_snap)
+        wal_path = tmp_path / "ingest.wal"
+        with OnlineRecommendationService(snapshot=live_snap,
+                                         snapshot_path=live_snap,
+                                         wal_path=wal_path) as live:
+            live.ingest(*_batch((0, 3), (1, 7)))
+            live.publish_snapshot()  # foreground: rotation happens now
+            assert live.wal_stats["rotations"] == 1
+            assert live.wal_stats["records"] == 0  # baked into the snapshot
+            live.ingest(*_batch((2, 2)))  # post-publish tail stays logged
+            users = np.arange(live.num_users, dtype=np.int64)
+            want = live.top_k(users, K)
+        with OnlineRecommendationService(snapshot=live_snap,
+                                         wal_path=wal_path) as recovered:
+            assert recovered.wal_replayed == 1  # only the tail replays
+            np.testing.assert_array_equal(recovered.top_k(users, K), want)
+
+    def test_wal_stats_surface_in_online_stats(self, snap_path, tmp_path):
+        with OnlineRecommendationService(
+                snapshot=snap_path,
+                wal_path=tmp_path / "ingest.wal",
+                wal_fsync="always") as service:
+            service.ingest(*_batch((0, 3)))
+            stats = service.online_stats["wal"]
+            assert stats["fsync"] == "always"
+            assert stats["records"] == 1
+            assert stats["syncs"] >= 1
+        with OnlineRecommendationService(snapshot=snap_path) as plain:
+            assert plain.online_stats["wal"] is None
+            assert plain.wal is None

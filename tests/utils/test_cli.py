@@ -268,6 +268,34 @@ class TestOnlineRecommend:
         assert payload["ingest"]["compacted"] is True
         assert payload["ingest"]["delta_size"] == 0
 
+    def test_wal_makes_ingest_durable_across_invocations(self, capsys,
+                                                         tmp_path):
+        baseline = self._payload(capsys, [])
+        consumed = baseline["recommendations"]["0"][0]
+        events = self._events(tmp_path, [(0, consumed)])
+        wal = str(tmp_path / "ingest.wal")
+        logged = self._payload(capsys, ["--ingest", events, "--wal", wal])
+        assert logged["wal"]["records"] == 1
+        assert consumed not in logged["recommendations"]["0"]
+        # A second invocation with only the WAL replays the ingest: the
+        # consumed item stays excluded with no --ingest flag at all.
+        recovered = self._payload(capsys, ["--wal", wal])
+        assert recovered["wal"]["replayed_records"] == 1
+        assert recovered["recommendations"] == logged["recommendations"]
+
+    def test_wal_fsync_flag_and_absent_key(self, capsys, tmp_path):
+        events = self._events(tmp_path, [(0, 3)])
+        wal = str(tmp_path / "ingest.wal")
+        payload = self._payload(capsys, ["--ingest", events, "--wal", wal,
+                                         "--wal-fsync", "always"])
+        assert payload["wal"]["fsync"] == "always"
+        assert payload["wal"]["syncs"] >= 1
+        # Without --wal there is no wal section (and no health section
+        # without a remote executor).
+        plain = self._payload(capsys, [])
+        assert "wal" not in plain
+        assert "health" not in plain
+
     def test_text_output_reports_ingest(self, capsys, tmp_path):
         path = self._events(tmp_path, [(0, 3)])
         assert main([
