@@ -345,8 +345,9 @@ class OnlineRecommendationService(RecommendationService):
       path, and fresh snapshots ship without a stop-the-world refreeze.
     * Durable ingest via a write-ahead log (``wal_path=…``): every event
       batch is appended to a checksummed :class:`repro.engine.wal.WriteAheadLog`
-      before :meth:`ingest` returns, so acknowledged events survive process
-      death.  Construction over an existing log *is* recovery — intact
+      before it touches in-memory serving state (true write-ahead ordering),
+      so acknowledged events survive process death — and a failed append
+      leaves serving exactly on the durable prefix, never ahead of it.  Construction over an existing log *is* recovery — intact
       records are replayed onto the snapshot base (a torn tail record is
       detected by checksum and dropped), and because compaction is
       serving-invariant the recovered service serves bit-identically to the
@@ -469,8 +470,13 @@ class OnlineRecommendationService(RecommendationService):
             self._fallback_row_cache = row
         return self._fallback_row_cache
 
-    def _grow_users(self, num_users: int) -> int:
-        """Append fallback rows so ids up to ``num_users`` become servable."""
+    def _check_growth(self, num_users: int) -> int:
+        """Rows :meth:`_grow_users` would append; raises where it would.
+
+        Split out so ingest can refuse a batch *before* logging it to the
+        WAL: an event the log carries must be replayable, and a batch this
+        check rejects would raise identically during recovery.
+        """
         grown = num_users - self.index.num_users
         if grown <= 0:
             return 0
@@ -486,6 +492,13 @@ class OnlineRecommendationService(RecommendationService):
                 "previously unseen users need a factorised snapshot to append "
                 "a fallback embedding row to; scorer-fallback indexes cannot "
                 "serve users the model has never embedded")
+        return grown
+
+    def _grow_users(self, num_users: int) -> int:
+        """Append fallback rows so ids up to ``num_users`` become servable."""
+        grown = self._check_growth(num_users)
+        if grown <= 0:
+            return 0
         fallback = self._fallback_row()
         matrix = np.concatenate([
             self.index.user_embeddings,
@@ -526,6 +539,15 @@ class OnlineRecommendationService(RecommendationService):
             raise IndexError("user id out of range for this index")
         if items.min() < 0 or items.max() >= self.num_items:
             raise IndexError("item id out of range for this index")
+        self._check_growth(int(users.max()) + 1)
+        if log and self._wal is not None:
+            # True write-ahead ordering: the raw batch hits the log before
+            # any in-memory state changes, so a failed append (disk full,
+            # torn write) leaves serving exactly on the durable prefix —
+            # the live service never serves an event recovery would lose.
+            # Replay dedups, so logging raw events (duplicates included)
+            # keeps "acked == logged" with no derived state on disk.
+            self._wal.append(users, items)
         stats["new_users"] = self._grow_users(int(users.max()) + 1)
         fresh_users, fresh_items = self._overlay.ingest(users, items)
         if self._sharded is not None:
@@ -543,12 +565,6 @@ class OnlineRecommendationService(RecommendationService):
         stats["invalidated"] = self.invalidate_users(touched)
         self.ingested_pairs += int(fresh_users.size)
         self.new_users += stats["new_users"]
-        if log and self._wal is not None:
-            # Durability point: the raw event batch hits the log before the
-            # caller's ingest() returns — acknowledged means recoverable.
-            # Replay dedups, so logging raw events (duplicates included)
-            # keeps "acked == logged" with no derived state on disk.
-            self._wal.append(users, items)
         if self.delta_size >= self.compact_threshold:
             self.compact()
             stats["compacted"] = True
@@ -650,12 +666,15 @@ class OnlineRecommendationService(RecommendationService):
             # service would be constructed from; publishing a side copy must
             # leave the log covering the original base.  (Rotation is a
             # space bound, not a correctness requirement — replay dedups.)
+            # The mark is a record sequence number, so it stays valid even
+            # when a still-in-flight earlier publish rotates the log between
+            # this capture and our own worker's rotate call.
             wal_mark = None
             if self._wal is not None and (
                     Path(target) == self.snapshot_path
                     or (self._snapshot is not None
                         and Path(target) == Path(self._snapshot.path))):
-                wal_mark = self._wal.offset()
+                wal_mark = self._wal.mark()
         stamp = {"compactions": self.compactions,
                  "ingested_pairs": self.ingested_pairs,
                  "new_users": self.new_users}

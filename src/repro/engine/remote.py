@@ -653,7 +653,14 @@ class RemoteExecutor(_ExecutorBase):
         self._preferred = [0] * self.num_shards
         self._jitter_rng = random.Random(jitter_seed)
         self._jitter_lock = threading.Lock()
+        # Built eagerly: a lazy first-use init would race two concurrent
+        # fan-outs into two pools, leaking one.  ThreadPoolExecutor spawns
+        # its threads on first submit, so the eager object itself is free.
         self._pool: Optional[ThreadPoolExecutor] = None
+        if self.num_shards > 1:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.num_shards,
+                thread_name_prefix="remote-fan-out")
         self._closed = False
 
     # -- executor seam -------------------------------------------------- #
@@ -685,10 +692,6 @@ class RemoteExecutor(_ExecutorBase):
         message = self._encode_request(kind, request)
         if self.num_shards == 1:
             return [self._request(0, message)]
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self.num_shards,
-                thread_name_prefix="remote-fan-out")
         futures = [self._pool.submit(self._request, shard_id, message)
                    for shard_id in range(self.num_shards)]
         results, failure = [], None

@@ -28,10 +28,14 @@ Three fsync policies trade durability against append latency:
     flush only; for benchmarks and tests that measure the framing cost.
 
 The log stays bounded through :meth:`rotate`: after a snapshot publish
-captures the compacted state, every record at or below the captured byte
-offset is already baked into the snapshot, so the log rewrites itself to
-just the tail beyond that mark (atomically, via a fsynced temp file and
-``os.replace``).
+captures the compacted state, every record at or below the captured
+:meth:`mark` is already baked into the snapshot, so the log rewrites itself
+to just the tail beyond that mark (atomically, via a fsynced temp file and
+``os.replace``).  Marks are monotonic record sequence numbers, not byte
+offsets, so a mark captured before a concurrent rotation is still valid
+after it — rotating to an already-covered mark is simply a no-op.  That
+makes overlapping snapshot publishes safe: each rotates to its own mark and
+the later mark always subsumes the earlier one.
 
 Fault injection: an attached :class:`~repro.engine.faults.FaultPlan` is
 consulted at site ``"wal.append"``; a ``torn_write`` action persists only a
@@ -198,6 +202,7 @@ class WriteAheadLog:
         self._lock = threading.Lock()
         self._file: Optional[io.BufferedWriter] = None
         self._records = 0
+        self._dropped = 0  # records rotated away over the log's lifetime
         self._appends_since_sync = 0
         self._syncs = 0
         self._rotations = 0
@@ -232,9 +237,11 @@ class WriteAheadLog:
     # -- appends --------------------------------------------------------- #
 
     def append(self, users: Sequence[int], items: Sequence[int]) -> int:
-        """Durably append one ingest batch; returns the new end offset.
+        """Durably append one ingest batch; returns the record's mark.
 
-        The durability level is set by the fsync policy; on return under
+        The returned value is the same rotation mark :meth:`mark` would
+        report — the sequence number of the appended record.  The
+        durability level is set by the fsync policy; on return under
         ``always`` the record has hit the disk, under ``batch`` it has hit
         the OS.  Raises :class:`WalTornWrite` when the attached fault plan
         schedules a torn write — after which the log refuses further
@@ -271,7 +278,7 @@ class WriteAheadLog:
                     self.fsync == "batch"
                     and self._appends_since_sync >= self.batch_interval):
                 self._fsync_locked()
-            return self._offset
+            return self._dropped + self._records
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""
@@ -298,38 +305,46 @@ class WriteAheadLog:
 
     # -- rotation -------------------------------------------------------- #
 
-    def offset(self) -> int:
-        """Current end-of-log byte offset (a valid ``rotate`` mark)."""
+    def mark(self) -> int:
+        """Rotation mark covering every record appended so far.
+
+        Marks are monotonic record sequence numbers (records ever appended,
+        including already-rotated ones), never byte offsets — so a captured
+        mark stays valid even if another thread rotates the log in between.
+        """
         with self._lock:
-            return self._offset
+            return self._dropped + self._records
 
     def rotate(self, up_to: int) -> int:
-        """Drop every record at or below byte offset ``up_to``.
+        """Drop every record at or below sequence mark ``up_to``.
 
         Called after a snapshot publish: the publish captured state that
         already includes all records up to the mark, so only the tail
-        appended *after* the capture still needs the log.  The rewrite goes
-        through a fsynced temp file and ``os.replace`` so a crash mid-rotate
-        leaves either the old log or the new one, never a hybrid.  Returns
-        the number of bytes dropped.
+        appended *after* the capture still needs the log.  A mark already
+        covered by an earlier rotation is a no-op — overlapping publishes
+        may rotate in either order and the later mark always subsumes the
+        earlier one.  The rewrite goes through a fsynced temp file and
+        ``os.replace`` so a crash mid-rotate leaves either the old log or
+        the new one, never a hybrid.  Returns the number of bytes dropped.
         """
         with self._lock:
             self._ensure_open()
-            if up_to < _HEADER.size or up_to > self._offset:
+            end = self._dropped + self._records
+            if up_to < 0 or up_to > end:
                 raise ValueError(
-                    f"rotate mark {up_to} outside log bounds "
-                    f"[{_HEADER.size}, {self._offset}]")
+                    f"rotate mark {up_to} outside log bounds [0, {end}]")
+            drop = up_to - self._dropped
+            if drop <= 0:
+                return 0  # an earlier rotation already covered this mark
             self._file.flush()
             if self.fsync != "off":
                 os.fsync(self._file.fileno())
-            with open(self.path, "rb") as reader:
-                reader.seek(up_to)
-                tail = reader.read(self._offset - up_to)
-            tail_records, tail_end = _scan(_HEADER.pack(_MAGIC, _VERSION)
-                                           + tail)
-            if tail_end != _HEADER.size + len(tail):
-                raise ValueError(
-                    f"rotate mark {up_to} is not on a record boundary")
+            buffer = _read_bytes(self.path)
+            boundary = _HEADER.size
+            for _ in range(drop):
+                payload_len, _ = _RECORD_PREFIX.unpack_from(buffer, boundary)
+                boundary += _RECORD_PREFIX.size + payload_len
+            tail = buffer[boundary:]
             tmp_path = self.path + ".rotate.tmp"
             with open(tmp_path, "wb") as writer:
                 writer.write(_HEADER.pack(_MAGIC, _VERSION))
@@ -340,13 +355,13 @@ class WriteAheadLog:
             os.replace(tmp_path, self.path)
             self._file = open(self.path, "r+b")
             self._file.seek(0, os.SEEK_END)
-            dropped = up_to - _HEADER.size
             self._offset = self._file.tell()
-            self._records = len(tail_records)
+            self._records -= drop
+            self._dropped += drop
             self._rotations += 1
             self._appends_since_sync = 0
             self._last_fsync_record = None
-            return dropped
+            return boundary - _HEADER.size
 
     # -- lifecycle / stats ----------------------------------------------- #
 

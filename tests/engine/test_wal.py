@@ -130,9 +130,11 @@ class TestWriteAheadLog:
         wal = WriteAheadLog(path)
         wal.append(*_batch((0, 1)))
         mark = wal.append(*_batch((2, 3)))
+        assert mark == wal.mark() == 2  # marks are record sequence numbers
         wal.append(*_batch((4, 5)))
         dropped = wal.rotate(mark)
-        assert dropped == mark - _HEADER.size
+        assert dropped == (len(_encode_record(*_batch((0, 1))))
+                           + len(_encode_record(*_batch((2, 3)))))
         assert wal.stats()["records"] == 1
         assert wal.stats()["rotations"] == 1
         wal.append(*_batch((6, 7)))
@@ -142,21 +144,49 @@ class TestWriteAheadLog:
         np.testing.assert_array_equal(records[0][0], [4])
         np.testing.assert_array_equal(records[1][0], [6])
 
-    def test_rotate_rejects_non_boundary_and_out_of_range_marks(self,
-                                                                tmp_path):
+    def test_rotate_rejects_out_of_range_marks(self, tmp_path):
         wal = WriteAheadLog(tmp_path / "ingest.wal")
         end = wal.append(*_batch((0, 1)))
-        with pytest.raises(ValueError, match="record boundary"):
-            wal.rotate(end - 1)
         with pytest.raises(ValueError, match="outside log bounds"):
             wal.rotate(end + 1)
         with pytest.raises(ValueError, match="outside log bounds"):
-            wal.rotate(0)
+            wal.rotate(-1)
+        assert wal.rotate(0) == 0  # nothing at or below mark 0: a no-op
         # Rotating the full log empties it but keeps it writable.
         wal.rotate(end)
         assert wal.stats()["records"] == 0
         wal.append(*_batch((2, 3)))
         wal.close()
+
+    def test_rotate_marks_survive_an_interleaved_rotation(self, tmp_path):
+        """Regression: a mark captured before another rotate stays valid.
+
+        Overlapping snapshot publishes each capture a mark, then rotate on
+        their own schedule.  Byte-offset marks would be rebased by the
+        first rotation (raising, or silently dropping the wrong records);
+        sequence marks are immune — and a stale mark is just a no-op.
+        """
+        path = tmp_path / "ingest.wal"
+        wal = WriteAheadLog(path)
+        wal.append(*_batch((0, 1)))
+        mark_a = wal.mark()  # publish A captures after record 1
+        wal.append(*_batch((2, 3)))
+        wal.append(*_batch((4, 5)))
+        mark_b = wal.mark()  # publish B captures after record 3
+        # Publish A (started earlier, still in flight) rotates first …
+        assert wal.rotate(mark_a) > 0
+        assert wal.stats()["records"] == 2
+        # … and B's later mark still drops exactly records 2 and 3.
+        assert wal.rotate(mark_b) > 0
+        assert wal.stats()["records"] == 0
+        # The reverse interleaving: a stale mark after a newer rotation.
+        wal.append(*_batch((6, 7)))
+        assert wal.rotate(mark_a) == 0  # already covered, not an error
+        assert wal.stats()["records"] == 1
+        wal.close()
+        records = read_wal_records(path)
+        assert len(records) == 1
+        np.testing.assert_array_equal(records[0][0], [6])
 
     def test_injected_torn_write_breaks_the_log_until_reopen(self, tmp_path):
         path = tmp_path / "ingest.wal"
@@ -221,6 +251,11 @@ class TestDurableIngest:
             crashing.ingest(*_batch((1, 4)))
             with pytest.raises(WalTornWrite):
                 crashing.ingest(*_batch((2, 5)))
+            # Write-ahead ordering: the batch whose append failed never
+            # touched serving state, so the still-live service agrees with
+            # what recovery will reconstruct — no silent divergence window.
+            assert not crashing.overlay.contains([2], [5])[0]
+            assert crashing.ingested_pairs == 2
         # The oracle ingested only what was acknowledged.
         with OnlineRecommendationService(snapshot=snap_path) as oracle:
             oracle.ingest(*_batch((0, 3)))
@@ -252,6 +287,57 @@ class TestDurableIngest:
                                          wal_path=wal_path) as recovered:
             assert recovered.wal_replayed == 1  # only the tail replays
             np.testing.assert_array_equal(recovered.top_k(users, K), want)
+
+    def test_overlapping_publishes_rotate_consistently(
+            self, snap_path, tmp_path, monkeypatch):
+        """Regression: a publish overlapping a slow in-flight publish.
+
+        The second publish captures its WAL mark *before* joining the
+        first, whose rotation then rewrites the log.  With byte-offset
+        marks the second rotation either raised or dropped acknowledged
+        records; sequence marks keep every interleaving exact.
+        """
+        import shutil
+        import threading
+        import time
+
+        from repro.engine import online as online_module
+
+        live_snap = tmp_path / "live.snap"
+        shutil.copy(snap_path, live_snap)
+        gate = threading.Event()
+        real_save = online_module.save_snapshot
+        calls = []
+
+        def slow_save(*args, **kwargs):
+            calls.append(time.monotonic())
+            if len(calls) == 1:  # stall only the first (background) publish
+                assert gate.wait(10)
+            return real_save(*args, **kwargs)
+
+        monkeypatch.setattr(online_module, "save_snapshot", slow_save)
+        with OnlineRecommendationService(snapshot=live_snap,
+                                         snapshot_path=live_snap,
+                                         wal_path=tmp_path / "w.wal") as live:
+            live.ingest(*_batch((0, 3), (1, 7)))
+            live.publish_snapshot(background=True)  # stalls inside save
+            live.ingest(*_batch((2, 2)))
+            # The foreground publish captures its mark, then blocks joining
+            # the stalled background worker; release the worker so its
+            # rotation lands between the capture and the second rotate —
+            # exactly the reviewed interleaving.
+            threading.Timer(0.3, gate.set).start()
+            live.publish_snapshot()
+            assert live.publishes == 2
+            assert live.wal_stats["rotations"] == 2
+            assert live.wal_stats["records"] == 0  # all baked into the snap
+            live.ingest(*_batch((3, 4)))
+            users = np.arange(live.num_users, dtype=np.int64)
+            want = live.top_k(users, K)
+        with OnlineRecommendationService(snapshot=live_snap,
+                                         wal_path=tmp_path / "w.wal") as rec:
+            assert rec.wal_replayed == 1  # only the post-publish tail
+            np.testing.assert_array_equal(rec.top_k(users, K), want)
 
     def test_wal_stats_surface_in_online_stats(self, snap_path, tmp_path):
         with OnlineRecommendationService(

@@ -22,7 +22,7 @@ from repro.engine import (
     read_wal_records,
     save_snapshot,
 )
-from repro.engine.wal import _HEADER
+from repro.engine.wal import _HEADER, _encode_record
 from repro.models import BprMF
 
 K = 5
@@ -48,10 +48,13 @@ def snap_path(tiny_split, tmp_path_factory):
 def wal_image(tmp_path_factory):
     """The pristine log bytes plus each record's end offset."""
     path = tmp_path_factory.mktemp("wal_prop") / "pristine.wal"
+    # append() returns rotation marks (record sequence numbers), so the
+    # byte boundaries the sweep cuts at are recomputed from the framing.
     ends = [_HEADER.size]
     with WriteAheadLog(path, fsync="off") as wal:
         for users, items in BATCHES:
-            ends.append(wal.append(users, items))
+            wal.append(users, items)
+            ends.append(ends[-1] + len(_encode_record(users, items)))
     return path.read_bytes(), ends
 
 
