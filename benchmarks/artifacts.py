@@ -88,6 +88,27 @@ def latency_summary(seconds: Sequence[float]) -> dict:
     }
 
 
+def telemetry_snapshot() -> Optional[dict]:
+    """The engine's metrics-registry snapshot, if the engine was imported.
+
+    Benchmarks exercise the serving stack, so by artifact-writing time the
+    process registry holds every counter and latency histogram the run
+    produced; stamping it into the document makes each benchmark JSON a
+    full telemetry record, not just its headline numbers.  Guarded import:
+    artifacts must stay writable from benchmarks that never touch the
+    engine (and from stripped-down environments).
+    """
+    try:
+        from repro.engine.observability import metrics
+    except ImportError:  # pragma: no cover - engine not on the path
+        return None
+    snapshot = metrics().snapshot()
+    if not snapshot.get("counters") and not snapshot.get("histograms") \
+            and not snapshot.get("gauges"):
+        return None
+    return snapshot
+
+
 def git_sha() -> Optional[str]:
     """Commit the numbers were measured at (CI env var, then git, else None)."""
     sha = os.environ.get("GITHUB_SHA")
@@ -131,6 +152,7 @@ def write_artifact(name: str, payload, *,
         "platform": platform.platform(),
         "dataset_override": os.environ.get("REPRO_BENCH_DATASET"),
         "peak_rss_bytes": peak_rss_bytes(),
+        "telemetry": telemetry_snapshot(),
         "results": payload,
     }
     path = directory / f"{name}.json"

@@ -222,7 +222,15 @@ def run_wal_recovery(snapshot_path, num_users: int, num_items: int) -> dict:
                     crashing.ingest(users, items)
                 except WalTornWrite:
                     crashed_mid_append = True
+            fired_events = crashing.stats()["faults"]["fired_events"]
         assert crashed_mid_append, "the scheduled torn write never fired"
+        # The unified stats surface must name the fault that fired — site,
+        # request index, and kind — without reaching into FaultPlan
+        # internals.
+        assert {"site": "wal.append", "index": len(batches) - 1,
+                "kind": "torn_write"} in fired_events, (
+            f"service.stats()['faults'] does not report the scheduled torn "
+            f"write; fired_events={fired_events}")
 
         acked = batches[:-1]
         with OnlineRecommendationService(snapshot=snapshot_path) as oracle:

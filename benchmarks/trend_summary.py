@@ -70,6 +70,13 @@ KEY_METRICS = {
         ("stale snapshot rejected", "stale_snapshot_rejected", "all",
          "handshake fails closed"),
     ],
+    "bench_observability": [
+        ("telemetry overhead %", "overhead_pct", "max", "<= 5%"),
+        ("p99 with telemetry ms", "p99_on_ms", "max", "reported"),
+        ("p99 telemetry off ms", "p99_off_ms", "max", "reported"),
+        ("on/off serving parity", "parity", "all", "bit-identical"),
+        ("shard spans stitched", "shard_spans", "max", ">= 1 remote span"),
+    ],
     "bench_fault_tolerance": [
         ("availability under kills", "availability", "min",
          "= 1.0 while a replica survives"),

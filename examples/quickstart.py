@@ -258,6 +258,53 @@ def main() -> None:
             print(f"WAL recovery: {recovered.wal_replayed} acknowledged "
                   f"batch replayed bit-identically after restart")
 
+    # 13. Observability: every hot path is instrumented into a process
+    #     metrics registry (counters + exact-percentile latency
+    #     histograms), and installing a Tracer turns each request into a
+    #     span tree — carried across asyncio, the frontend's worker
+    #     thread, and even the remote wire protocol, so a sharded
+    #     request's tree contains the spans the shard SERVERS recorded.
+    #     Instrumentation is observation only: results stay
+    #     bit-identical with telemetry on or off (gated in CI).
+    #     service.stats() is the one unified surface over every stats
+    #     dict (cache, certificates, health, online, wal, frontend,
+    #     faults, metrics).  Same flow on the CLI:
+    #       repro recommend --executor remote --shard-addr … --trace 3
+    #       repro recommend --json … | repro stats -
+    from repro.engine import Tracer, format_trace, set_tracer
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            snap_path = save_snapshot(Path(tmp) / "games.snap", service.index)
+            servers = [spawn_shard_server(snap_path, shard_id, 2)
+                       for shard_id in range(2)]
+            addresses = ["{}:{}".format(*address) for _, address in servers]
+            try:
+                with RecommendationService(
+                        snapshot=snap_path, executor="remote",
+                        shard_addresses=addresses) as router:
+                    router.top_k(range(3), k=5)
+                    stats = router.stats()
+            finally:
+                for process, _ in servers:
+                    process.terminate()
+                    process.join()
+    finally:
+        set_tracer(None)
+    slowest = tracer.slowest(1)[0]
+    shard_spans = sum(1 for s in slowest.spans() if s.origin == "shard")
+    assert shard_spans == 2, "shard-server spans must stitch into the trace"
+    print("slowest request trace (note the [shard] spans that crossed "
+          "the wire):")
+    print(format_trace(slowest))
+    counters = stats["metrics"]["counters"]
+    top_k_ms = stats["metrics"]["histograms"]["service.top_k_s"]["p50"] * 1e3
+    print(f"unified stats: {counters['remote.requests']} remote requests, "
+          f"{counters['service.top_k_calls']} top_k call(s), "
+          f"p50 {top_k_ms:.2f} ms; sections = {sorted(stats)}")
+
 
 if __name__ == "__main__":
     main()

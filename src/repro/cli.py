@@ -14,6 +14,9 @@ The subcommands cover the common workflows:
                    with ``recommend --executor remote --shard-addr host:port``
                    (one flag per shard, in shard order) fans requests out to
                    these servers and merges bit-exactly.
+* ``stats``      — pretty-print a unified serving-stats document (the
+                   ``stats`` key of a ``recommend --json`` payload, or a
+                   raw ``service.stats()`` dump from a benchmark artifact).
 * ``experiment`` — run one of the paper's tables/figures by identifier.
 * ``models`` / ``datasets`` / ``experiments`` — list what is available.
 """
@@ -181,7 +184,23 @@ def build_parser() -> argparse.ArgumentParser:
                            dest="max_pending", metavar="N",
                            help="with --serve: bounded queue depth before "
                                 "load shedding kicks in (default 1024)")
+    recommend.add_argument("--trace", type=int, default=None, metavar="N",
+                           dest="trace",
+                           help="record request traces and print the N "
+                                "slowest request trees (span timings per "
+                                "serving stage; with --executor remote the "
+                                "shard servers' spans are stitched in)")
     recommend.add_argument("--json", action="store_true", help="emit results as JSON")
+
+    stats = subparsers.add_parser(
+        "stats",
+        help="pretty-print a unified serving-stats document (the 'stats' "
+             "key of a 'recommend --json' payload, or a raw "
+             "service.stats() dump)")
+    stats.add_argument("path", nargs="?", default="-",
+                       help="JSON file to read ('-' or omitted = stdin)")
+    stats.add_argument("--json", action="store_true",
+                       help="re-emit the normalised stats document as JSON")
 
     snapshot = subparsers.add_parser(
         "snapshot",
@@ -421,6 +440,8 @@ def _command_recommend(args: argparse.Namespace) -> int:
                          "--candidate-factor")
     if args.compact_threshold < 1:
         raise SystemExit("error: --compact-threshold must be a positive integer")
+    if args.trace is not None and args.trace < 1:
+        raise SystemExit("error: --trace must be a positive integer")
     if args.serve:
         if args.batch_window_ms < 0:
             raise SystemExit("error: --batch-window-ms must be >= 0")
@@ -531,12 +552,21 @@ def _command_recommend(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: user ids {bad} outside "
                              f"[0, {service.num_users}) after ingest")
     frontend_stats = None
+    unified_stats = None
+    tracer = None
+    if args.trace is not None:
+        from .engine import Tracer, set_tracer
+        tracer = Tracer(capacity=max(64, args.trace))
+        previous_tracer = set_tracer(tracer)
     try:
         if args.serve:
             top, frontend_stats = _serve_recommendations(service, users, args)
         else:
             top = service.top_k(np.asarray(users, dtype=np.int64), args.top_k,
                                 exclude_train=not args.include_train)
+        stats_fn = getattr(service, "stats", None)
+        if stats_fn is not None:
+            unified_stats = stats_fn()
     except RuntimeError as error:
         from .engine import RemoteShardError
         if isinstance(error, RemoteShardError):
@@ -545,9 +575,13 @@ def _command_recommend(args: argparse.Namespace) -> int:
             raise SystemExit(f"error: remote serving failed: {error}")
         raise
     finally:
+        if tracer is not None:
+            from .engine import set_tracer
+            set_tracer(previous_tracer)
         close = getattr(service, "close", None)
         if close is not None:
             close()
+    slowest_traces = tracer.slowest(args.trace) if tracer is not None else []
 
     source = (f"snapshot {args.snapshot}" if args.snapshot is not None
               else f"{args.model} on {args.dataset}")
@@ -581,6 +615,10 @@ def _command_recommend(args: argparse.Namespace) -> int:
         payload["candidates"] = service.certificate_stats
     if ingest_stats is not None:
         payload["ingest"] = dict(ingest_stats, **service.online_stats)
+    if unified_stats is not None:
+        payload["stats"] = unified_stats
+    if tracer is not None:
+        payload["traces"] = [trace.as_dict() for trace in slowest_traces]
     if args.json:
         print(json.dumps(payload, indent=2))
     else:
@@ -626,6 +664,105 @@ def _command_recommend(args: argparse.Namespace) -> int:
                       f"over {stats['escalation_rounds']} rounds, "
                       f"{stats['exact_fallback_users']} exact fallbacks "
                       f"(max factor {stats['max_factor']})")
+        if tracer is not None:
+            from .engine import format_trace
+            print(f"\n{len(slowest_traces)} slowest request trace(s):")
+            for trace in slowest_traces:
+                print(format_trace(trace))
+    return 0
+
+
+def _format_metric_value(name: str, value) -> str:
+    """Histogram values named ``*_s`` hold seconds; everything else is a
+    plain number (batch occupancy, counts)."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return "?"
+    if not name.endswith("_s"):
+        return f"{value:g}"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3f}ms"
+    return f"{value * 1e6:.1f}us"
+
+
+def _compact_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    if args.path in (None, "-"):
+        source, text = "<stdin>", sys.stdin.read()
+    else:
+        try:
+            with open(args.path) as handle:
+                source, text = args.path, handle.read()
+        except OSError as error:
+            raise SystemExit(f"error: {error}")
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"error: {source} is not valid JSON: {error}")
+    if not isinstance(document, dict):
+        raise SystemExit(f"error: {source} does not hold a JSON object")
+    # Accept either a bare service.stats() document or a whole
+    # 'recommend --json' payload wrapping one under its "stats" key.
+    stats = document["stats"] if isinstance(document.get("stats"), dict) \
+        else document
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    shown = False
+    for key in ("service", "cache", "certificates", "health", "online",
+                "wal", "frontend"):
+        section = stats.get(key)
+        if section is None:
+            continue
+        shown = True
+        if not isinstance(section, dict):
+            print(f"{key}: {section}")
+            continue
+        body = ", ".join(f"{name}={_compact_value(value)}"
+                         for name, value in section.items()
+                         if not isinstance(value, (dict, list)))
+        print(f"{key}: {body}" if body else f"{key}: (nested)")
+    faults = stats.get("faults")
+    if isinstance(faults, dict):
+        shown = True
+        fired = faults.get("fired_events") or []
+        print(f"faults: {len(fired)} injected fault(s) fired")
+        for event in fired:
+            if isinstance(event, dict):
+                print(f"  {event.get('site')}#{event.get('index')} "
+                      f"{event.get('kind')}")
+    metrics_doc = stats.get("metrics")
+    if isinstance(metrics_doc, dict):
+        shown = True
+        counters = metrics_doc.get("counters") or {}
+        gauges = metrics_doc.get("gauges") or {}
+        histograms = metrics_doc.get("histograms") or {}
+        state = "on" if metrics_doc.get("enabled", True) else "off"
+        print(f"metrics ({state}): {len(counters)} counters, "
+              f"{len(gauges)} gauges, {len(histograms)} histograms")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+        for name in sorted(gauges):
+            print(f"  {name} ~ {_compact_value(gauges[name])}")
+        for name in sorted(histograms):
+            summary = histograms[name]
+            if not isinstance(summary, dict) or not summary.get("count"):
+                continue
+            rendered = " ".join(
+                f"{stat}={_format_metric_value(name, summary.get(stat))}"
+                for stat in ("mean", "p50", "p90", "p99", "max"))
+            print(f"  {name}: n={summary['count']} {rendered}")
+    if not shown:
+        raise SystemExit(f"error: {source} holds none of the unified stats "
+                         f"sections (service/cache/.../metrics)")
     return 0
 
 
@@ -778,6 +915,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_train(args)
     if args.command == "recommend":
         return _command_recommend(args)
+    if args.command == "stats":
+        return _command_stats(args)
     if args.command == "snapshot":
         return _command_snapshot(args)
     if args.command == "shard-server":

@@ -99,6 +99,22 @@ models into a fast, reusable serving path:
   garbled frames, handshake rejections, server crashes, torn writes) into
   all three components, so every claimed fault path is a reproducible test.
 
+* :class:`MetricsRegistry` / :class:`Tracer` — end-to-end serving
+  telemetry.  A process-local registry of named counters, gauges and
+  fixed-bucket latency histograms (exact p50/p90/p99 over a bounded raw
+  sample window) instruments every hot path — frontend batching, cache
+  probes, candidate stage-1/stage-2, shard fan-out/merge, remote
+  retries/failovers/breaker transitions, WAL appends/fsyncs/replays,
+  online ingest/compact/publish — and ``service.stats()`` folds every
+  stats surface (cache, certificates, health, online, WAL, frontend,
+  faults, metrics) into ONE nested dict with stable keys.  Request-scoped
+  tracing (:func:`traced` / :func:`span`, contextvar-propagated through
+  asyncio and worker threads, trace ids riding the remote wire protocol so
+  shard-server spans stitch into the router's trace) records the N slowest
+  request trees in a bounded ring.  Instrumentation never changes results:
+  serving is bit-identical with telemetry on, off, or swapped for
+  :class:`NullMetricsRegistry`, and the overhead is gated ≤5% in CI.
+
 Dtype policy: training always runs in ``float64`` (the autograd substrate is
 exact-gradient float64); inference defaults to ``float64`` for bit-parity
 with evaluation but can be dropped to ``float32`` for serving workloads via
@@ -157,6 +173,21 @@ from .remote import (
     spawn_shard_server,
 )
 from .faults import FaultAction, FaultPlan, FaultRule
+from .observability import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Span,
+    TraceContext,
+    Tracer,
+    current_trace,
+    format_trace,
+    get_tracer,
+    metrics,
+    set_metrics,
+    set_tracer,
+    span,
+    traced,
+)
 from .wal import (
     FSYNC_POLICIES,
     WalError,
@@ -213,4 +244,17 @@ __all__ = [
     "InteractionDelta",
     "OnlineRecommendationService",
     "OnlineUserItemIndex",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "current_trace",
+    "format_trace",
+    "get_tracer",
+    "metrics",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "traced",
 ]

@@ -41,12 +41,14 @@ merged score beats every shard's local pruning threshold.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .index import InferenceIndex, UserItemIndex
+from .observability import metrics, span
 from .sharding import ShardedInferenceIndex
 
 __all__ = [
@@ -279,6 +281,7 @@ def _two_stage_block(user_block: np.ndarray, users: np.ndarray,
         return (np.empty((batch, 0), dtype=np.int64),
                 np.empty((batch, 0), dtype=user_block.dtype),
                 np.full(batch, -np.inf))
+    stage1_start = time.perf_counter()
     bounds = block.approx_scores(user_block)
     bounds += user_norms[:, None] * block.bound_norms[None, :]
     # Norm-cap pruning: ||u||*||e_i|| is also an upper bound (Cauchy–Schwarz
@@ -305,10 +308,14 @@ def _two_stage_block(user_block: np.ndarray, users: np.ndarray,
         candidates = np.tile(np.arange(num_items, dtype=np.int64), (batch, 1))
         thresholds = np.full(batch, -np.inf)
     candidate_bounds = np.take_along_axis(bounds, candidates, axis=1)
+    stage2_start = time.perf_counter()
     exact = np.asarray(rescore(candidates))
     # Candidate lists may reach into masked territory when m exceeds the
     # unmasked catalogue; keep the exclusion airtight after rescoring.
     exact[candidate_bounds == -np.inf] = -np.inf
+    registry = metrics()
+    registry.observe("candidates.stage1_s", stage2_start - stage1_start)
+    registry.observe("candidates.stage2_s", time.perf_counter() - stage2_start)
     return candidates, exact, thresholds
 
 
@@ -417,6 +424,7 @@ class _CertifiedTopK:
         max_factor = self.factor if max_factor is None else int(max_factor)
         if max_factor < self.factor:
             raise ValueError("max_factor must be >= the configured factor")
+        registry = metrics()
         ids, certificate = self.top_k_with_certificate(
             users, k, exclude_train=exclude_train)
         pending = ~certificate.certified
@@ -430,20 +438,25 @@ class _CertifiedTopK:
             subset = np.nonzero(pending)[0]
             self.escalation_rounds += 1
             self.escalated_users += int(subset.size)
+            registry.inc("candidates.escalation_rounds")
+            registry.inc("candidates.escalated_users", int(subset.size))
             # Escalation re-serves users the aggregate counters already
             # counted, so the sub-batch goes unrecorded (record=False) and
             # only the newly certified users are credited.
-            sub_ids, sub_certificate = self.top_k_with_certificate(
-                users[subset], k, exclude_train=exclude_train, factor=factor,
-                record=False)
+            with span("candidates.escalation"):
+                sub_ids, sub_certificate = self.top_k_with_certificate(
+                    users[subset], k, exclude_train=exclude_train,
+                    factor=factor, record=False)
             self.certified_users += sub_certificate.num_certified
             ids[subset] = sub_ids
             pending[subset[sub_certificate.certified]] = False
         if pending.any():
             subset = np.nonzero(pending)[0]
             self.exact_fallback_users += int(subset.size)
-            ids[subset] = self._exact_backend.top_k(
-                users[subset], k, exclude_train=exclude_train)
+            registry.inc("candidates.exact_fallback_users", int(subset.size))
+            with span("candidates.exact_fallback"):
+                ids[subset] = self._exact_backend.top_k(
+                    users[subset], k, exclude_train=exclude_train)
         return ids
 
     @property
@@ -521,17 +534,19 @@ class CandidateIndex(_CertifiedTopK):
         factor = self.factor if factor is None else int(factor)
         if exclude_train and self.index.exclusion is None:
             raise ValueError("no exclusion index attached to this CandidateIndex")
-        user_block = self.index.user_embeddings[users]
-        user_norms = np.linalg.norm(
-            user_block.astype(np.float64, copy=False), axis=1)
-        candidates, scores, thresholds = _two_stage_block(
-            user_block, users, user_norms, factor * k, self.block,
-            self.index.exclusion, exclude_train,
-            lambda candidate_ids: self.index.rescore(users, candidate_ids))
-        return self._finalize(candidates, scores, thresholds, k, user_norms,
-                              self.block.dim, self.index.dtype,
-                              self.num_items, self._max_item_norm,
-                              factor=factor, record=record)
+        with span("candidates.top_k"):
+            user_block = self.index.user_embeddings[users]
+            user_norms = np.linalg.norm(
+                user_block.astype(np.float64, copy=False), axis=1)
+            candidates, scores, thresholds = _two_stage_block(
+                user_block, users, user_norms, factor * k, self.block,
+                self.index.exclusion, exclude_train,
+                lambda candidate_ids: self.index.rescore(users, candidate_ids))
+            return self._finalize(candidates, scores, thresholds, k,
+                                  user_norms, self.block.dim,
+                                  self.index.dtype, self.num_items,
+                                  self._max_item_norm, factor=factor,
+                                  record=record)
 
     def score_pairs(self, users: Sequence[int],
                     items: Sequence[int]) -> np.ndarray:
@@ -637,6 +652,25 @@ class ShardedCandidateIndex(_CertifiedTopK):
         user_block = self.sharded.user_embeddings[users]
         user_norms = np.linalg.norm(
             user_block.astype(np.float64, copy=False), axis=1)
+        with span("candidates.fan_out"), \
+                metrics().timer("candidates.fan_out_s"):
+            results = self._fan_out(users, k, factor, exclude_train,
+                                    user_block, user_norms)
+        with span("candidates.merge"), metrics().timer("candidates.merge_s"):
+            pooled_ids = np.concatenate([ids for ids, _, _ in results], axis=1)
+            pooled_scores = np.concatenate(
+                [scores for _, scores, _ in results], axis=1)
+            thresholds = np.max(
+                np.stack([thresh for _, _, thresh in results]), axis=0)
+            return self._finalize(pooled_ids, pooled_scores, thresholds, k,
+                                  user_norms, int(user_block.shape[1]),
+                                  self.sharded.dtype, self.num_items,
+                                  self._max_item_norm, factor=factor,
+                                  record=record)
+
+    def _fan_out(self, users: np.ndarray, k: int, factor: int,
+                 exclude_train: bool, user_block: np.ndarray,
+                 user_norms: np.ndarray) -> list:
         if getattr(self.sharded.executor, "ships_payloads", False):
             # Multi-process fan-out: workers run _two_stage_block over their
             # own mapped snapshot sections and return the exactly-rescored
@@ -656,16 +690,7 @@ class ShardedCandidateIndex(_CertifiedTopK):
                 for shard, block in zip(self.sharded.shards, self.blocks)
             ]
             results = self.sharded.executor.run(tasks)
-        pooled_ids = np.concatenate([ids for ids, _, _ in results], axis=1)
-        pooled_scores = np.concatenate(
-            [scores for _, scores, _ in results], axis=1)
-        thresholds = np.max(
-            np.stack([thresh for _, _, thresh in results]), axis=0)
-        return self._finalize(pooled_ids, pooled_scores, thresholds, k,
-                              user_norms, int(user_block.shape[1]),
-                              self.sharded.dtype, self.num_items,
-                              self._max_item_norm, factor=factor,
-                              record=record)
+        return results
 
     def score_pairs(self, users: Sequence[int],
                     items: Sequence[int]) -> np.ndarray:

@@ -195,7 +195,12 @@ class FaultPlan:
             return list(self._fired)
 
     def stats(self) -> dict:
-        """Counters for assertions: per-site operations and injections."""
+        """Counters for assertions: per-site operations and injections.
+
+        ``fired_events`` is the chronological :attr:`fired` log as
+        JSON-ready dicts — the shape ``service.stats()["faults"]`` exposes,
+        so tests assert *which* faults fired without touching private state.
+        """
         with self._lock:
             injected: Dict[str, int] = {}
             for site, _, _ in self._fired:
@@ -206,6 +211,9 @@ class FaultPlan:
                 "operations": dict(self._indices),
                 "injected": injected,
                 "fired": len(self._fired),
+                "fired_events": [
+                    {"site": site, "index": index, "kind": kind}
+                    for site, index, kind in self._fired],
             }
 
     # -- pickling (shard-server child processes) ------------------------ #

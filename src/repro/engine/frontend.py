@@ -41,9 +41,12 @@ from __future__ import annotations
 
 import asyncio
 import concurrent.futures
+import contextvars
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from .observability import COUNT_BUCKETS, metrics, span, traced
 
 __all__ = ["SHED_POLICIES", "AsyncRecommendationFrontend", "OverloadedError"]
 
@@ -127,6 +130,12 @@ class AsyncRecommendationFrontend:
         # shared service state can never race each other.
         self._executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-frontend")
+        # Back-reference for the unified surface: service.stats()["frontend"]
+        # reports this frontend's counters (last frontend attached wins).
+        try:
+            service._attached_frontend = self
+        except AttributeError:
+            pass
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._closed = False
         self._recommend_pending: Dict[Tuple[int, bool], _RecommendBatch] = {}
@@ -164,6 +173,7 @@ class AsyncRecommendationFrontend:
         if self._pending >= self.max_pending:
             if self.shed == "reject":
                 self.shed_count += 1
+                metrics().inc("frontend.shed")
                 raise OverloadedError(
                     f"pending queue at capacity ({self.max_pending}); "
                     f"retry later")
@@ -204,30 +214,39 @@ class AsyncRecommendationFrontend:
         user, k = int(user), int(k)
         if k <= 0:
             raise ValueError("k must be positive")
-        self.requests += 1
-        cached = self.service.cache_lookup(user, k, exclude_train)
-        if cached is not None:
-            self.cache_hits += 1
-            return cached
-        await self._admit()
-        key = (k, bool(exclude_train))
-        batch = self._recommend_pending.get(key)
-        if batch is None:
-            batch = self._recommend_pending[key] = _RecommendBatch()
-            # The first waiter starts the deadline clock for the group.
-            batch.timer = loop.call_later(
-                self.batch_window_ms / 1000.0,
-                lambda: self._spawn(self._flush_recommend(key)))
-        future: asyncio.Future = loop.create_future()
-        batch.users.append(user)
-        batch.futures.append(future)
-        if len(batch.futures) >= self.max_batch_size:
-            # Detach the full group synchronously so later arrivals start a
-            # fresh batch (and a fresh window) — no batch ever exceeds
-            # max_batch_size even when many submissions precede the flush.
-            del self._recommend_pending[key]
-            self._spawn(self._run_recommend(batch, key))
-        return await future
+        registry = metrics()
+        with traced("frontend.recommend"):
+            self.requests += 1
+            registry.inc("frontend.requests")
+            cached = self.service.cache_lookup(user, k, exclude_train)
+            if cached is not None:
+                self.cache_hits += 1
+                registry.inc("frontend.cache_hits")
+                return cached
+            await self._admit()
+            key = (k, bool(exclude_train))
+            with span("frontend.assemble"):
+                batch = self._recommend_pending.get(key)
+                if batch is None:
+                    batch = self._recommend_pending[key] = _RecommendBatch()
+                    # The first waiter starts the deadline clock for the
+                    # group (and, via call_later's context copy, owns the
+                    # deadline flush's spans in its trace).
+                    batch.timer = loop.call_later(
+                        self.batch_window_ms / 1000.0,
+                        lambda: self._spawn(self._flush_recommend(key)))
+                future: asyncio.Future = loop.create_future()
+                batch.users.append(user)
+                batch.futures.append(future)
+                if len(batch.futures) >= self.max_batch_size:
+                    # Detach the full group synchronously so later arrivals
+                    # start a fresh batch (and a fresh window) — no batch ever
+                    # exceeds max_batch_size even when many submissions
+                    # precede the flush.
+                    del self._recommend_pending[key]
+                    self._spawn(self._run_recommend(batch, key))
+            with span("frontend.await_batch"):
+                return await future
 
     def _score_batch(self, users: np.ndarray, k: int,
                      exclude_train: bool) -> List[List[int]]:
@@ -251,9 +270,18 @@ class AsyncRecommendationFrontend:
             batch.timer.cancel()
         k, exclude_train = key
         users = np.asarray(batch.users, dtype=np.int64)
+        registry = metrics()
+        registry.observe("frontend.batch_occupancy", len(batch.futures),
+                         buckets=COUNT_BUCKETS)
         try:
-            rows = await self._get_loop().run_in_executor(
-                self._executor, self._score_batch, users, k, exclude_train)
+            # copy_context(): run_in_executor does not propagate contextvars,
+            # so hand the worker thread an explicit copy — the scoring body
+            # lands inside this flush's TraceContext.
+            context = contextvars.copy_context()
+            with span("frontend.flush"), registry.timer("frontend.flush_s"):
+                rows = await self._get_loop().run_in_executor(
+                    self._executor, context.run, self._score_batch, users, k,
+                    exclude_train)
         except Exception as error:
             for future in batch.futures:
                 if not future.done():
@@ -265,6 +293,8 @@ class AsyncRecommendationFrontend:
         finally:
             self.batches += 1
             self.batched_requests += len(batch.futures)
+            registry.inc("frontend.batches")
+            registry.inc("frontend.batched_requests", len(batch.futures))
             self.max_occupancy = max(self.max_occupancy, len(batch.futures))
             await self._release(len(batch.futures))
 
@@ -289,6 +319,7 @@ class AsyncRecommendationFrontend:
         if users.shape != items.shape or users.ndim != 1:
             raise ValueError("users and items must be aligned 1-d arrays")
         self.ingest_calls += 1
+        metrics().inc("frontend.ingest_calls")
         await self._admit()
         batch = self._ingest_pending
         if batch is None:
@@ -319,9 +350,14 @@ class AsyncRecommendationFrontend:
             batch.timer.cancel()
         users = np.concatenate(batch.users)
         items = np.concatenate(batch.items)
+        registry = metrics()
         try:
-            stats = await self._get_loop().run_in_executor(
-                self._executor, self.service.ingest, users, items)
+            context = contextvars.copy_context()
+            with span("frontend.ingest_flush"), \
+                    registry.timer("frontend.ingest_flush_s"):
+                stats = await self._get_loop().run_in_executor(
+                    self._executor, context.run, self.service.ingest, users,
+                    items)
         except Exception as error:
             for future in batch.futures:
                 if not future.done():
@@ -334,6 +370,8 @@ class AsyncRecommendationFrontend:
         finally:
             self.ingest_batches += 1
             self.ingest_events += batch.events
+            registry.inc("frontend.ingest_batches")
+            registry.inc("frontend.ingest_events", batch.events)
             await self._release(len(batch.futures))
 
     # ------------------------------------------------------------------ #

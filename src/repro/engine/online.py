@@ -53,6 +53,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from .index import InferenceIndex, UserItemIndex, _expand_slices, _FlatPairOps
+from .observability import metrics, span
 from .service import RecommendationService
 from .snapshot import save_snapshot
 from .wal import WriteAheadLog
@@ -421,6 +422,7 @@ class OnlineRecommendationService(RecommendationService):
                         for users, items in self._wal.recovered:
                             self._ingest_locked(users, items, log=False)
                             self.wal_replayed += 1
+                            metrics().inc("wal.replayed_records")
                     finally:
                         self._replaying = False
 
@@ -522,8 +524,14 @@ class OnlineRecommendationService(RecommendationService):
         ``new_users`` created, ``touched_users`` whose cache entries were
         invalidated, and whether the call triggered a ``compacted`` merge.
         """
-        with self._ingest_lock:
-            return self._ingest_locked(users, items)
+        registry = metrics()
+        with span("online.ingest"), registry.timer("online.ingest_s"), \
+                self._ingest_lock:
+            stats = self._ingest_locked(users, items)
+        registry.inc("online.ingest_calls")
+        registry.inc("online.ingest_events", stats["events"])
+        registry.inc("online.ingested_pairs", stats["ingested"])
+        return stats
 
     def _ingest_locked(self, users, items, *, log: bool = True) -> dict:
         users = np.asarray(users, dtype=np.int64)
@@ -583,7 +591,9 @@ class OnlineRecommendationService(RecommendationService):
         on-disk snapshot in a background thread; the default republishes
         exactly when the service was constructed with ``snapshot_path=…``.
         """
-        with self._ingest_lock:
+        registry = metrics()
+        with span("online.compact"), registry.timer("online.compact_s"), \
+                self._ingest_lock:
             self._overlay.compact()
             for overlay in self._shard_overlays:
                 overlay.compact()
@@ -601,6 +611,7 @@ class OnlineRecommendationService(RecommendationService):
                     setattr(self._candidates, counter,
                             getattr(previous, counter))
             self.compactions += 1
+        registry.inc("online.compactions")
         if publish is None:
             # Replay must not republish: recovery reconstructs serving state,
             # it does not advance the published artifact.
@@ -681,10 +692,13 @@ class OnlineRecommendationService(RecommendationService):
         stamp.update(metadata or {})
 
         def write() -> None:
-            save_snapshot(target, frozen, candidate_modes=candidate_modes,
-                          metadata=stamp)
-            if wal_mark is not None:
-                self._wal.rotate(wal_mark)
+            registry = metrics()
+            with registry.timer("online.publish_s"):
+                save_snapshot(target, frozen, candidate_modes=candidate_modes,
+                              metadata=stamp)
+                if wal_mark is not None:
+                    self._wal.rotate(wal_mark)
+            registry.inc("online.publishes")
 
         if not background:
             self.wait_published()

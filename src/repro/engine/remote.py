@@ -76,6 +76,13 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from .faults import FaultPlan
+from .observability import (
+    current_trace,
+    metrics,
+    parse_wire_spans,
+    shard_reply_trace,
+    trace_request_fields,
+)
 from .sharding import PARTITION_POLICIES, _ExecutorBase
 from .snapshot import (
     _execute_shard_payload,
@@ -499,21 +506,33 @@ class ShardServer:
                      np.ascontiguousarray(arrays["extra_cols"]))
         prefix = (kind, self.snapshot_path, self.num_shards, self.policy,
                   self.shard_id)
+        started = time.perf_counter()
         if kind == "top_k":
             payload = prefix + (users, int(fields["k"]),
                                 bool(fields["exclude_train"]), user_block,
                                 extra)
             ids, scores = _execute_shard_payload(payload)
-            reply = encode_message("top_k_result", {},
-                                   {"ids": ids, "scores": scores})
+            duration = time.perf_counter() - started
+            reply = encode_message(
+                "top_k_result",
+                shard_reply_trace(fields, shard_id=self.shard_id, kind=kind,
+                                  duration=duration),
+                {"ids": ids, "scores": scores})
         else:
             payload = prefix + (users, int(fields["num_candidates"]),
                                 fields["mode"], bool(fields["exclude_train"]),
                                 user_block, extra)
             ids, scores, thresholds = _execute_shard_payload(payload)
-            reply = encode_message("candidates_result", {},
-                                   {"ids": ids, "scores": scores,
-                                    "thresholds": thresholds})
+            duration = time.perf_counter() - started
+            reply = encode_message(
+                "candidates_result",
+                shard_reply_trace(fields, shard_id=self.shard_id, kind=kind,
+                                  duration=duration),
+                {"ids": ids, "scores": scores,
+                 "thresholds": thresholds})
+        registry = metrics()
+        registry.inc("server.requests")
+        registry.observe("server.request_s", duration)
         with self._count_lock:
             self.requests_served += 1
         return reply
@@ -688,11 +707,25 @@ class RemoteExecutor(_ExecutorBase):
         if self._closed:
             raise RemoteShardError("RemoteExecutor is closed")
         # Every shard receives the identical request (shard identity lives
-        # in the connection handshake), so encode exactly once.
-        message = self._encode_request(kind, request)
+        # in the connection handshake), so encode exactly once.  The active
+        # trace id is read here, in the caller's thread — pool threads do
+        # not inherit the contextvar — and rides the request meta so shard
+        # servers can stitch their spans into this trace.  Pool threads
+        # append parsed spans to ``collected`` (list.append is atomic);
+        # they are attached once every shard has answered.
+        trace = current_trace()
+        trace_id = trace.trace_id if trace is not None else None
+        message = self._encode_request(kind, request,
+                                       trace_request_fields(trace))
+        collected: list = []
         if self.num_shards == 1:
-            return [self._request(0, message)]
-        futures = [self._pool.submit(self._request, shard_id, message)
+            results = [self._request(0, message, trace_id=trace_id,
+                                     span_sink=collected)]
+            if trace is not None:
+                trace.attach(sorted(collected, key=lambda s: s.name))
+            return results
+        futures = [self._pool.submit(self._request, shard_id, message,
+                                     trace_id=trace_id, span_sink=collected)
                    for shard_id in range(self.num_shards)]
         results, failure = [], None
         for future in futures:
@@ -703,6 +736,10 @@ class RemoteExecutor(_ExecutorBase):
                     failure = error
         if failure is not None:
             raise failure
+        if trace is not None:
+            # Shard replies land in pool-thread order; sort by span name so
+            # the stitched tree is deterministic.
+            trace.attach(sorted(collected, key=lambda s: s.name))
         return results
 
     def close(self) -> None:
@@ -778,7 +815,8 @@ class RemoteExecutor(_ExecutorBase):
             return self._jitter_rng.uniform(0.0, ceiling)
 
     @staticmethod
-    def _encode_request(kind: str, request: tuple) -> bytes:
+    def _encode_request(kind: str, request: tuple,
+                        trace_fields: Optional[dict] = None) -> bytes:
         if kind == "top_k":
             users, k, exclude_train, user_block, extra = request
             fields = {"k": int(k), "exclude_train": bool(exclude_train)}
@@ -789,6 +827,8 @@ class RemoteExecutor(_ExecutorBase):
                       "exclude_train": bool(exclude_train)}
         else:
             raise ValueError(f"unknown shard payload kind {kind!r}")
+        if trace_fields:
+            fields.update(trace_fields)
         arrays = {"users": np.asarray(users, dtype=np.int64),
                   "user_block": user_block}
         if extra is not None:
@@ -849,6 +889,7 @@ class RemoteExecutor(_ExecutorBase):
                         error: BaseException, *, probing: bool,
                         has_siblings: bool) -> None:
         """Count one transport fault and drive the circuit breaker."""
+        opened = False
         with replica.lock:
             self._drop(replica)
             replica.failures += 1
@@ -860,16 +901,28 @@ class RemoteExecutor(_ExecutorBase):
                     or replica.consecutive_failures >= self.breaker_threshold):
                 # A failed half-open probe re-opens immediately; otherwise
                 # the threshold of consecutive faults trips the breaker.
+                opened = replica.circuit != "open"
                 replica.circuit = "open"
                 replica.opened_at = time.monotonic()
+        registry = metrics()
+        registry.inc("remote.failures")
+        if has_siblings:
+            registry.inc("remote.failovers")
+        if opened:
+            registry.inc("remote.breaker_opened")
 
-    def _request(self, shard_id: int, message: bytes):
+    def _request(self, shard_id: int, message: bytes, *,
+                 trace_id: Optional[str] = None,
+                 span_sink: Optional[list] = None):
         """One round trip: sticky replica first, failover on transport
         faults, capped jittered backoff between sweeps of the replica set."""
+        registry = metrics()
+        request_start = time.perf_counter()
         replicas = self._replicas[shard_id]
         last_error: Optional[BaseException] = None
         for attempt in range(self.max_retries + 1):
             if attempt:
+                registry.inc("remote.retries")
                 delay = self._backoff_delay(attempt)
                 if delay:
                     time.sleep(delay)
@@ -891,6 +944,7 @@ class RemoteExecutor(_ExecutorBase):
                             continue
                         probing = True
                         replica.probes += 1
+                        registry.inc("remote.breaker_probes")
                 if self.fault_plan is not None:
                     action = self.fault_plan.advance("client.request")
                     if action is not None:
@@ -942,6 +996,15 @@ class RemoteExecutor(_ExecutorBase):
                         replica.probe_successes += 1
                     replica.circuit = "closed"
                 self._preferred[shard_id] = replica.replica_id
+                if probing:
+                    registry.inc("remote.breaker_closed")
+                if span_sink is not None and trace_id is not None:
+                    span_sink.extend(parse_wire_spans(fields, trace_id))
+                elapsed = time.perf_counter() - request_start
+                registry.inc("remote.requests")
+                registry.observe("remote.request_s", elapsed)
+                registry.observe(f"remote.shard.{shard_id}.request_s",
+                                 elapsed)
                 return self._decode_result(shard_id, kind, arrays)
             if all(replica.rejected for replica in replicas):
                 # Nothing left to retry: every replica is deterministically

@@ -47,6 +47,7 @@ import numpy as np
 
 from .candidates import CandidateIndex, ShardedCandidateIndex
 from .index import InferenceIndex, UserItemIndex
+from .observability import metrics, traced
 from .sharding import (ProcessExecutor, SerialExecutor, ShardedInferenceIndex,
                        ThreadedExecutor)
 from .snapshot import ServingSnapshot, load_snapshot
@@ -460,10 +461,14 @@ class RecommendationService:
             cached = self._cache.get(key)
             if cached is None:
                 self.cache_misses += 1
-                return None
-            self._cache.move_to_end(key)
-            self.cache_hits += 1
-            return list(cached)
+            else:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+        if cached is None:
+            metrics().inc("service.cache.misses")
+            return None
+        metrics().inc("service.cache.hits")
+        return list(cached)
 
     def cache_store(self, user: int, k: int, exclude_train: bool,
                     items: Sequence[int]) -> None:
@@ -502,6 +507,78 @@ class RecommendationService:
             "capacity": self.cache_size,
         }
 
+    def _fault_stats(self) -> Optional[dict]:
+        """Injected-fault counters from every attached :class:`FaultPlan`.
+
+        Collects the remote executor's plan and (on the online subclass) the
+        WAL's plan; when both point at the same plan object it is reported
+        once.  ``fired_events`` lists every fault that actually fired —
+        (site, kind, operation index) — so tests and benchmarks can assert
+        *which* faults hit without reaching into private state.
+        """
+        plans = []
+        executor_plan = getattr(self._executor, "fault_plan", None)
+        if executor_plan is not None:
+            plans.append(executor_plan)
+        wal = getattr(self, "wal", None)
+        wal_plan = getattr(wal, "fault_plan", None)
+        if wal_plan is not None and all(wal_plan is not p for p in plans):
+            plans.append(wal_plan)
+        if not plans:
+            return None
+        if len(plans) == 1:
+            return plans[0].stats()
+        merged = [plan.stats() for plan in plans]
+        return {
+            "plans": merged,
+            "fired_events": [event for stats in merged
+                             for event in stats["fired_events"]],
+        }
+
+    def stats(self) -> dict:
+        """One unified serving-stats surface with stable nested keys.
+
+        Subsumes every per-subsystem accessor — each key is exactly what the
+        old accessor returns (those accessors all keep working; this is the
+        aggregation, not a replacement) — plus the process-local metrics
+        registry:
+
+        - ``service``: static geometry (users/items/shards/executor/…)
+        - ``cache``: :meth:`cache_stats`
+        - ``certificates``: :attr:`certificate_stats` (``None`` on the exact
+          path)
+        - ``health``: :meth:`health_stats` (``None`` when serving is local)
+        - ``online`` / ``wal``: the online subclass's ``online_stats`` /
+          ``wal_stats`` (``None`` on a plain service)
+        - ``frontend``: the attached async frontend's ``stats()`` (``None``
+          when no frontend wraps this service)
+        - ``faults``: fired fault-injection events (``None`` without a plan)
+        - ``metrics``: :meth:`MetricsRegistry.snapshot` of the global
+          registry — counters, gauges and latency histograms
+        """
+        frontend = getattr(self, "_attached_frontend", None)
+        return {
+            "service": {
+                "num_users": self.num_users,
+                "num_items": self.num_items,
+                "num_shards": self.num_shards,
+                "shard_policy": self.shard_policy,
+                "executor": type(self._executor).__name__,
+                "candidate_mode": self.candidate_mode,
+                "candidate_factor": self.candidate_factor,
+                "batch_size": self.batch_size,
+                "cache_size": self.cache_size,
+            },
+            "cache": self.cache_stats(),
+            "certificates": self.certificate_stats,
+            "health": self.health_stats(),
+            "online": getattr(self, "online_stats", None),
+            "wal": getattr(self, "wal_stats", None),
+            "frontend": None if frontend is None else frontend.stats(),
+            "faults": self._fault_stats(),
+            "metrics": metrics().snapshot(),
+        }
+
     def _serve_top_k(self, users: np.ndarray, k: int,
                      exclude_train: bool) -> np.ndarray:
         """One backend dispatch, escalation-aware on the candidate path."""
@@ -527,27 +604,32 @@ class RecommendationService:
         if k <= 0:
             raise ValueError("k must be positive")
         width = min(k, self.num_items)
+        registry = metrics()
+        registry.inc("service.top_k_calls")
+        registry.inc("service.top_k_users", users.size)
         out = np.empty((users.size, width), dtype=np.int64)
-        for start in range(0, users.size, self.batch_size):
-            block = users[start:start + self.batch_size]
-            out[start:start + block.size] = self._serve_top_k(
-                block, k, exclude_train)
+        with traced("service.top_k"), registry.timer("service.top_k_s"):
+            for start in range(0, users.size, self.batch_size):
+                block = users[start:start + self.batch_size]
+                out[start:start + block.size] = self._serve_top_k(
+                    block, k, exclude_train)
         return out
 
     def recommend(self, user: int, k: int = 10,
                   exclude_train: bool = True) -> List[int]:
         """Cached single-user top-``k`` (the interactive / online entry point)."""
-        cached = self.cache_lookup(user, k, exclude_train)
-        if cached is not None:
-            return cached
-        if self.cache_size <= 0:
-            with self._cache_lock:
-                self.cache_misses += 1
-        block = np.asarray([int(user)], dtype=np.int64)
-        items = [int(item) for item in
-                 self._serve_top_k(block, int(k), bool(exclude_train))[0]]
-        self.cache_store(user, k, exclude_train, items)
-        return items
+        with traced("service.recommend"):
+            cached = self.cache_lookup(user, k, exclude_train)
+            if cached is not None:
+                return cached
+            if self.cache_size <= 0:
+                with self._cache_lock:
+                    self.cache_misses += 1
+            block = np.asarray([int(user)], dtype=np.int64)
+            items = [int(item) for item in
+                     self._serve_top_k(block, int(k), bool(exclude_train))[0]]
+            self.cache_store(user, k, exclude_train, items)
+            return items
 
     def score_pairs(self, users: Sequence[int], items: Sequence[int]) -> np.ndarray:
         """Scores of aligned (user, item) pairs — O(batch · dim) when factorised."""

@@ -40,12 +40,23 @@ approaches the catalogue size.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .index import InferenceIndex, UserItemIndex, top_k_indices
+from .observability import metrics, span
+
+
+def _timed_shard_task(shard_id: int, task):
+    """Run one shard's closure, observing its wall time per shard."""
+    start = time.perf_counter()
+    result = task()
+    metrics().observe(f"sharding.shard.{shard_id}.task_s",
+                      time.perf_counter() - start)
+    return result
 
 __all__ = [
     "partition_items",
@@ -587,28 +598,33 @@ class ShardedInferenceIndex:
         if exclude_train and self.exclusion is None:
             raise ValueError("no exclusion index attached to this "
                              "ShardedInferenceIndex")
-        if getattr(self.executor, "ships_payloads", False):
-            # Multi-process fan-out: ship (users, k) descriptions; each
-            # worker gathers the user block from its own mapped snapshot.
-            # State the snapshot file does not hold (grown user rows,
-            # ingested exclusion pairs) is shipped alongside.
-            user_block, extra = self._payload_state(users, exclude_train)
-            results = self.executor.fan_out("top_k", users, int(k),
-                                            bool(exclude_train), user_block,
-                                            extra)
-        else:
-            user_block = self.user_embeddings[users]
-            tasks = [
-                (lambda shard=shard: shard.local_top_k(
-                    user_block, users, k, exclude_train))
-                for shard in self.shards
-            ]
-            results = self.executor.run(tasks)
-        candidate_ids = np.concatenate([ids for ids, _ in results], axis=1)
-        candidate_scores = np.concatenate(
-            [scores for _, scores in results], axis=1)
-        return self._merge(candidate_ids, candidate_scores,
-                           min(k, self.num_items))
+        registry = metrics()
+        with span("sharding.fan_out"), registry.timer("sharding.fan_out_s"):
+            if getattr(self.executor, "ships_payloads", False):
+                # Multi-process fan-out: ship (users, k) descriptions; each
+                # worker gathers the user block from its own mapped snapshot.
+                # State the snapshot file does not hold (grown user rows,
+                # ingested exclusion pairs) is shipped alongside.
+                user_block, extra = self._payload_state(users, exclude_train)
+                results = self.executor.fan_out("top_k", users, int(k),
+                                                bool(exclude_train),
+                                                user_block, extra)
+            else:
+                user_block = self.user_embeddings[users]
+                tasks = [
+                    (lambda shard=shard: _timed_shard_task(
+                        shard.shard_id,
+                        lambda: shard.local_top_k(user_block, users, k,
+                                                  exclude_train)))
+                    for shard in self.shards
+                ]
+                results = self.executor.run(tasks)
+        with span("sharding.merge"), registry.timer("sharding.merge_s"):
+            candidate_ids = np.concatenate([ids for ids, _ in results], axis=1)
+            candidate_scores = np.concatenate(
+                [scores for _, scores in results], axis=1)
+            return self._merge(candidate_ids, candidate_scores,
+                               min(k, self.num_items))
 
     @staticmethod
     def _merge(candidate_ids: np.ndarray, candidate_scores: np.ndarray,

@@ -50,10 +50,13 @@ import io
 import os
 import struct
 import threading
+import time
 import zlib
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from .observability import metrics
 
 __all__ = [
     "FSYNC_POLICIES",
@@ -220,6 +223,7 @@ class WriteAheadLog:
             self.recovered, durable_end = _scan(buffer)
             self._truncated_bytes = len(buffer) - durable_end
             self._records = len(self.recovered)
+            metrics().inc("wal.recovered_records", self._records)
             self._file = open(self.path, "r+b")
             if self._truncated_bytes:
                 self._file.truncate(durable_end)
@@ -252,6 +256,7 @@ class WriteAheadLog:
         if users.shape != items.shape:
             raise ValueError("users and items must have matching lengths")
         record = _encode_record(users, items)
+        append_start = time.perf_counter()
         with self._lock:
             self._ensure_open()
             action = (self.fault_plan.advance("wal.append")
@@ -278,7 +283,11 @@ class WriteAheadLog:
                     self.fsync == "batch"
                     and self._appends_since_sync >= self.batch_interval):
                 self._fsync_locked()
-            return self._dropped + self._records
+            mark = self._dropped + self._records
+        registry = metrics()
+        registry.inc("wal.appends")
+        registry.observe("wal.append_s", time.perf_counter() - append_start)
+        return mark
 
     def sync(self) -> None:
         """Force an fsync of everything appended so far."""
@@ -291,7 +300,9 @@ class WriteAheadLog:
         if self.fsync == "off":
             self._appends_since_sync = 0
             return
+        fsync_start = time.perf_counter()
         os.fsync(self._file.fileno())
+        metrics().observe("wal.fsync_s", time.perf_counter() - fsync_start)
         self._syncs += 1
         self._appends_since_sync = 0
         self._last_fsync_record = self._records
@@ -336,6 +347,7 @@ class WriteAheadLog:
             drop = up_to - self._dropped
             if drop <= 0:
                 return 0  # an earlier rotation already covered this mark
+            rotate_start = time.perf_counter()
             self._file.flush()
             if self.fsync != "off":
                 os.fsync(self._file.fileno())
@@ -361,6 +373,10 @@ class WriteAheadLog:
             self._rotations += 1
             self._appends_since_sync = 0
             self._last_fsync_record = None
+            registry = metrics()
+            registry.inc("wal.rotations")
+            registry.observe("wal.rotate_s",
+                             time.perf_counter() - rotate_start)
             return boundary - _HEADER.size
 
     # -- lifecycle / stats ----------------------------------------------- #
